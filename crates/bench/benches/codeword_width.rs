@@ -1,0 +1,55 @@
+//! Ablation bench: PFOR code-word width (design decision 6 in DESIGN.md).
+//!
+//! The paper fixes b = 8 for the IR columns; this bench shows the trade-off
+//! that choice sits on: narrower codes decompress more values per cache
+//! line but push more values into the exception path, wider codes waste
+//! bits but almost never take exceptions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use x100_compress::PforBlock;
+
+const N: usize = 1 << 16;
+
+/// Posting-list-like tf values: mostly small, occasionally large.
+fn tf_like() -> Vec<u32> {
+    let mut x = 0xC0FFEEu32;
+    (0..N)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            match x % 100 {
+                0..=79 => 1 + x % 4,   // 80%: tf 1-4
+                80..=97 => 5 + x % 60, // 18%: tf 5-64
+                _ => 300 + x % 5000,   // 2%: outliers
+            }
+        })
+        .collect()
+}
+
+fn bench_width(c: &mut Criterion) {
+    let values = tf_like();
+    let mut group = c.benchmark_group("codeword_width");
+    group.throughput(Throughput::Bytes((N * 4) as u64));
+    group.sample_size(30);
+    for &b in &[2u8, 4, 6, 8, 12, 16] {
+        let block = PforBlock::encode_with_width(&values, b);
+        let label = format!(
+            "b={b} ({:.1} bits/val, {:.1}% exc)",
+            block.bits_per_value(),
+            block.exception_rate() * 100.0
+        );
+        let mut out = Vec::with_capacity(N);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &block, |bench, blk| {
+            bench.iter(|| {
+                blk.decode_into(&mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_width);
+criterion_main!(benches);

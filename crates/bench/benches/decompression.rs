@@ -1,0 +1,75 @@
+//! Criterion micro-bench behind **Figure 3**: NAIVE vs patched PFOR
+//! decompression across exception rates, plus PFOR-DELTA and PDICT for
+//! context. Throughput is reported in bytes of decompressed output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use x100_compress::{NaiveBlock, PdictBlock, PforBlock, PforDeltaBlock};
+
+const N: usize = 1 << 16;
+
+fn data_with_exception_rate(rate: f64) -> Vec<u32> {
+    let threshold = (rate * u32::MAX as f64) as u32;
+    let mut x = 0x9E3779B9u32;
+    (0..N)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            if x < threshold {
+                1_000_000 + (x % 1000)
+            } else {
+                u32::from(x as u8) % 255
+            }
+        })
+        .collect()
+}
+
+fn bench_decompression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompression");
+    group.throughput(Throughput::Bytes((N * 4) as u64));
+    group.sample_size(30);
+
+    for &rate in &[0.0, 0.01, 0.05, 0.25, 0.50, 1.0] {
+        let values = data_with_exception_rate(rate);
+        let naive = NaiveBlock::encode(&values, 8, 0);
+        let pfor = PforBlock::encode(&values, 8, 0);
+        let mut out = Vec::with_capacity(N);
+
+        group.bench_with_input(BenchmarkId::new("naive", rate), &naive, |b, blk| {
+            b.iter(|| {
+                blk.decode_into(&mut out);
+                black_box(out.last().copied())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pfor_patched", rate), &pfor, |b, blk| {
+            b.iter(|| {
+                blk.decode_into(&mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+
+    // Sorted docid-like data for the delta/dict codecs.
+    let sorted: Vec<u32> = (0..N as u32).map(|i| i * 3 + (i % 5)).collect();
+    let delta = PforDeltaBlock::encode_with_width(&sorted, 8);
+    let skewed: Vec<u32> = (0..N as u32).map(|i| i % 32).collect();
+    let dict = PdictBlock::encode(&skewed, 8);
+    let mut out = Vec::with_capacity(N);
+    group.bench_function("pfor_delta_sorted", |b| {
+        b.iter(|| {
+            delta.decode_into(&mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.bench_function("pdict_skewed", |b| {
+        b.iter(|| {
+            dict.decode_into(&mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompression);
+criterion_main!(benches);

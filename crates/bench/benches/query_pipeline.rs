@@ -1,0 +1,50 @@
+//! End-to-end query-pipeline bench: the Table 2 strategies head to head on
+//! a fixed collection (hot data). Complements the `table2_trec_runs`
+//! harness with Criterion's statistical rigor on a per-strategy basis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use x100_corpus::{CollectionConfig, SyntheticCollection};
+use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let collection = SyntheticCollection::generate(&CollectionConfig::small());
+    let raw = InvertedIndex::build(&collection, &IndexConfig::uncompressed());
+    let compressed = InvertedIndex::build(&collection, &IndexConfig::compressed());
+    let materialized = InvertedIndex::build(&collection, &IndexConfig::materialized_q8());
+    let queries: Vec<Vec<u32>> = collection.efficiency_log.iter().take(20).cloned().collect();
+
+    let mut group = c.benchmark_group("query_pipeline");
+    group.sample_size(15);
+
+    let cases: Vec<(&str, &InvertedIndex, SearchStrategy)> = vec![
+        ("bool_and/raw", &raw, SearchStrategy::BoolAnd),
+        ("bool_or/raw", &raw, SearchStrategy::BoolOr),
+        ("bm25/raw", &raw, SearchStrategy::Bm25),
+        ("bm25_two_pass/raw", &raw, SearchStrategy::Bm25TwoPass),
+        ("bm25_two_pass/compressed", &compressed, SearchStrategy::Bm25TwoPass),
+        (
+            "bm25_materialized_q8/compressed",
+            &materialized,
+            SearchStrategy::Bm25MaterializedTwoPass,
+        ),
+    ];
+
+    for (name, index, strategy) in cases {
+        let engine = QueryEngine::new(index);
+        for q in &queries {
+            let _ = engine.search(q, strategy, 20); // warm
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &strat| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(engine.search(q, strat, 20).expect("search").results.len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

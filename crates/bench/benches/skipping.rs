@@ -1,0 +1,75 @@
+//! Ablation bench: entry-point skipping (design decision 5 in DESIGN.md).
+//!
+//! The block format keeps an entry point every 128 values because that
+//! "allows fine-granularity access and skipping, which is especially useful
+//! during merging of inverted-lists" (§2.1). This bench quantifies it:
+//! touching `k` scattered 128-value windows of a block via
+//! `decode_range_into` vs decoding the whole block to reach the same
+//! windows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use x100_compress::{PforDeltaBlock, ENTRY_POINT_STRIDE};
+
+const N: usize = 1 << 20;
+
+fn sorted_docids() -> Vec<u32> {
+    let mut acc = 0u32;
+    let mut x = 0xABCDEFu32;
+    (0..N)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            acc += 1 + x % 7;
+            acc
+        })
+        .collect()
+}
+
+fn bench_skipping(c: &mut Criterion) {
+    let block = PforDeltaBlock::encode_with_width(&sorted_docids(), 8);
+    let strides = N / ENTRY_POINT_STRIDE;
+    let mut group = c.benchmark_group("skipping");
+    group.sample_size(20);
+
+    for &windows in &[4usize, 16, 64] {
+        // Evenly scattered windows across the block.
+        let starts: Vec<usize> = (0..windows)
+            .map(|i| (i * strides / windows) * ENTRY_POINT_STRIDE)
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("entry_point_seek", windows),
+            &starts,
+            |b, starts| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    for &s in starts {
+                        block
+                            .decode_range_into(s, ENTRY_POINT_STRIDE, &mut out)
+                            .expect("aligned");
+                        black_box(out.last().copied());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_decode", windows),
+            &starts,
+            |b, starts| {
+                let mut all = Vec::new();
+                b.iter(|| {
+                    block.decode_into(&mut all);
+                    for &s in starts {
+                        black_box(all[s]);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skipping);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind the **§4 vector-size demonstration**: one BM25
+//! query executed at different execution vector sizes. See also the
+//! `ablation_vector_size` binary, which sweeps a wider range over a larger
+//! query batch and prints the full table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use x100_corpus::{CollectionConfig, SyntheticCollection};
+use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy};
+
+fn bench_vector_size(c: &mut Criterion) {
+    let collection = SyntheticCollection::generate(&CollectionConfig::small());
+    let index = InvertedIndex::build(&collection, &IndexConfig::compressed());
+    let query = collection.eval_queries[0].terms.clone();
+
+    let mut group = c.benchmark_group("vector_size");
+    group.sample_size(20);
+    for &vs in &[1usize, 16, 256, 1024, 8192, 65536] {
+        let mut engine = QueryEngine::new(&index);
+        engine.set_vector_size(vs);
+        let _ = engine.search(&query, SearchStrategy::Bm25, 20); // warm buffers
+        group.bench_with_input(BenchmarkId::from_parameter(vs), &vs, |b, _| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .search(&query, SearchStrategy::Bm25, 20)
+                        .expect("search")
+                        .results
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_size);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! **§3.3 compression accounting** — bits per tuple of the index columns.
+//!
+//! "Using MonetDB/X100's built in compression, we were able to reduce the
+//! sizes of the docid and tf columns, which constitute the major part of
+//! total I/O, from 32 to 11.98 and 8.13 bits per tuple, respectively."
+//! (`docid`: PFOR-DELTA, 8-bit code words; `tf`: PFOR, 8-bit code words.)
+//!
+//! This harness builds the index both raw and compressed and reports the
+//! measured bits/tuple next to the paper's, plus the materialized-score
+//! variants that explain the BM25TCM/BM25TCMQ8 I/O behaviour (32-bit floats
+//! vs 8-bit quantized codes).
+//!
+//! Usage: `compression_ratios [num_docs]` (default 100000)
+
+use x100_bench::{reference, TablePrinter};
+use x100_corpus::{CollectionConfig, SyntheticCollection};
+use x100_ir::{IndexConfig, InvertedIndex};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = CollectionConfig::benchmark();
+    if let Some(n) = args.get(1).and_then(|s| s.parse().ok()) {
+        cfg.num_docs = n;
+    }
+
+    eprintln!("generating {}-doc collection ...", cfg.num_docs);
+    let collection = SyntheticCollection::generate(&cfg);
+
+    let raw = InvertedIndex::build(&collection, &IndexConfig::uncompressed());
+    let compressed = InvertedIndex::build(&collection, &IndexConfig::compressed());
+    let mat_f32 = InvertedIndex::build(&collection, &IndexConfig::materialized_f32());
+    let mat_q8 = InvertedIndex::build(&collection, &IndexConfig::materialized_q8());
+
+    let mut t = TablePrinter::new(&["column", "codec", "bits/tuple", "paper"]);
+    t.push_row(vec![
+        "docid".into(),
+        "raw".into(),
+        format!("{:.2}", raw.column_bits_per_tuple("docid")),
+        format!("{:.2}", reference::DOCID_BITS_RAW),
+    ]);
+    t.push_row(vec![
+        "docid".into(),
+        "PFOR-DELTA/8".into(),
+        format!("{:.2}", compressed.column_bits_per_tuple("docid")),
+        format!("{:.2}", reference::DOCID_BITS_COMPRESSED),
+    ]);
+    t.push_row(vec![
+        "tf".into(),
+        "raw".into(),
+        format!("{:.2}", raw.column_bits_per_tuple("tf")),
+        "32.00".into(),
+    ]);
+    t.push_row(vec![
+        "tf".into(),
+        "PFOR/8".into(),
+        format!("{:.2}", compressed.column_bits_per_tuple("tf")),
+        format!("{:.2}", reference::TF_BITS_COMPRESSED),
+    ]);
+    t.push_row(vec![
+        "score".into(),
+        "f32 (raw bits)".into(),
+        format!("{:.2}", mat_f32.column_bits_per_tuple("score")),
+        "32.00".into(),
+    ]);
+    t.push_row(vec![
+        "score".into(),
+        "quantized PFOR/8".into(),
+        format!("{:.2}", mat_q8.column_bits_per_tuple("score")),
+        "~8".into(),
+    ]);
+
+    println!(
+        "\nCompression accounting over {} postings ({} docs):",
+        compressed.num_postings(),
+        cfg.num_docs
+    );
+    print!("{}", t.render());
+
+    let docid_ratio = 32.0 / compressed.column_bits_per_tuple("docid");
+    let tf_ratio = 32.0 / compressed.column_bits_per_tuple("tf");
+    println!(
+        "\nShape checks: docid compresses {:.1}x (paper: {:.1}x), tf {:.1}x \
+         (paper: {:.1}x); the materialized f32 score column stays at 32 \
+         bits/tuple — the exact reason the paper's BM25TCM cold run did not \
+         improve until quantization shrank it to 8 bits.",
+        docid_ratio,
+        32.0 / reference::DOCID_BITS_COMPRESSED,
+        tf_ratio,
+        32.0 / reference::TF_BITS_COMPRESSED,
+    );
+}

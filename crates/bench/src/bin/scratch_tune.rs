@@ -1,0 +1,53 @@
+//! Scratch workload-tuning probe (not part of the reproduction harness).
+
+use x100_corpus::{precision_at_k, CollectionConfig, SyntheticCollection};
+use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy};
+
+fn main() {
+    let mut cfg = CollectionConfig::small();
+    for (skip, band, exp) in [(15usize, 2000usize, 0.6f64), (10, 600, 0.6), (8, 300, 0.8), (5, 150, 1.0)] {
+        cfg.query_log.head_skip = skip;
+        cfg.query_log.band_size = band;
+        cfg.query_log.band_exponent = exp;
+        let c = SyntheticCollection::generate(&cfg);
+        let idx = InvertedIndex::build(&c, &IndexConfig::uncompressed());
+        let engine = QueryEngine::new(&idx);
+        let mut p_and = 0.0;
+        let mut p_or = 0.0;
+        let mut p_bm = 0.0;
+        let mut and_sizes = Vec::new();
+        for q in &c.eval_queries {
+            let and = engine.search(&q.terms, SearchStrategy::BoolAnd, 100_000).unwrap();
+            and_sizes.push(and.results.len());
+            let and_top: Vec<u32> = and.results.iter().take(20).map(|r| r.docid).collect();
+            let or_top: Vec<u32> = engine
+                .search(&q.terms, SearchStrategy::BoolOr, 20)
+                .unwrap()
+                .results
+                .iter()
+                .map(|r| r.docid)
+                .collect();
+            let bm_top: Vec<u32> = engine
+                .search(&q.terms, SearchStrategy::Bm25, 20)
+                .unwrap()
+                .results
+                .iter()
+                .map(|r| r.docid)
+                .collect();
+            p_and += precision_at_k(&and_top, &q.relevant, 20);
+            p_or += precision_at_k(&or_top, &q.relevant, 20);
+            p_bm += precision_at_k(&bm_top, &q.relevant, 20);
+        }
+        let n = c.eval_queries.len() as f64;
+        and_sizes.sort_unstable();
+        println!(
+            "skip={skip:4} band={band:5} exp={exp:.1}: p@20 AND={:.3} OR={:.3} BM25={:.3}  |AND| med={} p10={} p90={}",
+            p_and / n,
+            p_or / n,
+            p_bm / n,
+            and_sizes[and_sizes.len() / 2],
+            and_sizes[and_sizes.len() / 10],
+            and_sizes[9 * and_sizes.len() / 10],
+        );
+    }
+}

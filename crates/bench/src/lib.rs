@@ -1,0 +1,90 @@
+//! Shared support for the table/figure reproduction harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index); this library holds what they share:
+//! the paper's published numbers ([`mod@reference`]), the workload scale used
+//! across experiments, and small formatting helpers.
+
+pub mod reference;
+
+use std::time::Duration;
+
+/// Formats a duration as fractional milliseconds, Table-2 style.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// A Markdown-ish table printer: pads cells, separates header.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// Starts a table with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        let mut t = TablePrinter {
+            widths: header.iter().map(|h| h.len()).collect(),
+            rows: Vec::new(),
+        };
+        t.push_row(header.iter().map(|s| (*s).to_owned()).collect());
+        t
+    }
+
+    /// Adds a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.widths.len(), "ragged table row");
+        for (w, cell) in self.widths.iter_mut().zip(&row) {
+            *w = (*w).max(cell.len());
+        }
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(line.join("  ").trim_end());
+            out.push('\n');
+            if i == 0 {
+                let sep: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+                out.push_str(&sep.join("  "));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ms_two_decimals() {
+        assert_eq!(fmt_ms(Duration::from_micros(1234)), "1.23");
+        assert_eq!(fmt_ms(Duration::ZERO), "0.00");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TablePrinter::new(&["run", "p@20"]);
+        t.push_row(vec!["BM25".into(), "0.546".into()]);
+        let s = t.render();
+        assert!(s.contains("run"));
+        assert!(s.contains("----"));
+        assert!(s.contains("BM25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = TablePrinter::new(&["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Branch-free bit packing of small integer codes.
+//!
+//! PFOR code sections are "densely packed" (Figure 2): `n` codes of `b` bits
+//! each occupy `ceil(n*b/64)` 64-bit words. The unpack loop is written
+//! without any per-value `if`, in line with the paper's guideline that
+//! "operations for (de)compressing subsequent values must be independent and
+//! expressible as a simple loop without any if-then-else": every value is
+//! extracted with an unconditional two-word read (the buffer is padded with
+//! one trailing word to make this safe).
+
+/// Maximum supported code width in bits. The paper uses 1..=24; we allow up
+/// to 32 so that "uncompressed" round-trips are expressible too.
+pub const MAX_WIDTH: u8 = 32;
+
+/// Number of `u64` words needed to hold `n` codes of `b` bits, **plus one
+/// padding word** that lets the unpacker read two words unconditionally.
+pub fn packed_len(n: usize, b: u8) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let bits = n * b as usize;
+    bits.div_ceil(64) + 1
+}
+
+/// Packs `values[i] & mask(b)` into a fresh padded buffer.
+///
+/// Values wider than `b` bits are truncated — callers (the PFOR encoders)
+/// guarantee values fit.
+///
+/// # Panics
+/// Panics if `b == 0` or `b > MAX_WIDTH`.
+pub fn pack(values: &[u32], b: u8) -> Vec<u64> {
+    assert!((1..=MAX_WIDTH).contains(&b), "bit width {b} out of range 1..=32");
+    let mut buf = vec![0u64; packed_len(values.len(), b)];
+    let mask = mask(b);
+    for (i, &v) in values.iter().enumerate() {
+        let bit = i * b as usize;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        let val = (u64::from(v) & mask) << off;
+        buf[word] |= val;
+        // Spill into the next word when the code straddles a boundary.
+        // `checked_shr` keeps this branch-free at the ISA level on x86
+        // (compiles to a conditional move); correctness is what matters here.
+        let spill_shift = 64 - off;
+        if spill_shift < 64 {
+            buf[word + 1] |= (u64::from(v) & mask).checked_shr(spill_shift).unwrap_or(0);
+        }
+    }
+    buf
+}
+
+/// Unpacks `n` codes of `b` bits from `buf` into `out` (cleared first).
+///
+/// The loop body is free of data-dependent branches: each value is
+/// reconstructed from an unconditional two-word read. This is the LOOP1
+/// building block of patched decompression.
+///
+/// # Panics
+/// Panics if `buf` is shorter than [`packed_len`]`(n, b)` or `b` is out of
+/// range.
+pub fn unpack(buf: &[u64], n: usize, b: u8, out: &mut Vec<u32>) {
+    assert!((1..=MAX_WIDTH).contains(&b), "bit width {b} out of range 1..=32");
+    assert!(
+        buf.len() >= packed_len(n, b),
+        "packed buffer too short: {} < {}",
+        buf.len(),
+        packed_len(n, b)
+    );
+    out.clear();
+    out.reserve(n);
+    let m = mask(b);
+    for i in 0..n {
+        let bit = i * b as usize;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        // Two-word branchless read; the padding word makes word+1 valid.
+        let lo = buf[word] >> off;
+        let hi = buf[word + 1].checked_shl(64 - off).unwrap_or(0);
+        out.push(((lo | hi) & m) as u32);
+    }
+}
+
+/// Unpacks codes `start..start + len` of `b` bits from `buf` into `out`
+/// (cleared first). Range decoding at entry-point granularity uses this to
+/// avoid touching the whole code section.
+pub fn unpack_range(buf: &[u64], start: usize, len: usize, b: u8, out: &mut Vec<u32>) {
+    assert!((1..=MAX_WIDTH).contains(&b), "bit width {b} out of range 1..=32");
+    assert!(
+        buf.len() >= packed_len(start + len, b),
+        "packed buffer too short for range end {}",
+        start + len
+    );
+    out.clear();
+    out.reserve(len);
+    let m = mask(b);
+    for i in start..start + len {
+        let bit = i * b as usize;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        let lo = buf[word] >> off;
+        let hi = buf[word + 1].checked_shl(64 - off).unwrap_or(0);
+        out.push(((lo | hi) & m) as u32);
+    }
+}
+
+/// Extracts the single code at position `i`.
+///
+/// Used by entry-point based range decoding; the bulk path is [`unpack`].
+#[inline]
+pub fn get(buf: &[u64], i: usize, b: u8) -> u32 {
+    let bit = i * b as usize;
+    let word = bit >> 6;
+    let off = (bit & 63) as u32;
+    let lo = buf[word] >> off;
+    let hi = buf[word + 1].checked_shl(64 - off).unwrap_or(0);
+    ((lo | hi) & mask(b)) as u32
+}
+
+/// The low-`b`-bits mask.
+#[inline]
+pub fn mask(b: u8) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32], b: u8) {
+        let packed = pack(values, b);
+        let mut out = Vec::new();
+        unpack(&packed, values.len(), b, &mut out);
+        let expect: Vec<u32> = values.iter().map(|&v| (u64::from(v) & mask(b)) as u32).collect();
+        assert_eq!(out, expect, "width {b}");
+    }
+
+    #[test]
+    fn roundtrip_every_width() {
+        let values: Vec<u32> = (0..300u32).map(|i| i.wrapping_mul(2654435761) % 97).collect();
+        for b in 1..=32u8 {
+            roundtrip(&values, b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[], 7);
+    }
+
+    #[test]
+    fn roundtrip_single_value() {
+        roundtrip(&[42], 8);
+        roundtrip(&[1], 1);
+    }
+
+    #[test]
+    fn roundtrip_max_values() {
+        for b in 1..=32u8 {
+            let max = (mask(b)) as u32;
+            roundtrip(&[max, 0, max, max, 0], b);
+        }
+    }
+
+    #[test]
+    fn truncates_oversized_values() {
+        let packed = pack(&[0xFFFF_FFFF], 4);
+        let mut out = Vec::new();
+        unpack(&packed, 1, 4, &mut out);
+        assert_eq!(out, vec![0xF]);
+    }
+
+    #[test]
+    fn get_matches_unpack() {
+        let values: Vec<u32> = (0..257).map(|i| (i * 31) % 1000).collect();
+        for b in [3u8, 8, 10, 17, 24] {
+            let packed = pack(&values, b);
+            let mut out = Vec::new();
+            unpack(&packed, values.len(), b, &mut out);
+            for (i, &expect) in out.iter().enumerate() {
+                assert_eq!(get(&packed, i, b), expect, "i={i} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_len_includes_padding() {
+        assert_eq!(packed_len(0, 8), 1);
+        assert_eq!(packed_len(8, 8), 2); // 64 bits data + 1 pad
+        assert_eq!(packed_len(9, 8), 3); // 72 bits -> 2 words + pad
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        pack(&[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn unpack_checks_buffer_length() {
+        let mut out = Vec::new();
+        unpack(&[0u64], 100, 8, &mut out);
+    }
+}

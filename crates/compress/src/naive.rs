@@ -1,0 +1,207 @@
+//! NAIVE frame-of-reference decompression — the baseline of Figure 3.
+//!
+//! The naive scheme marks exception slots with a sentinel code `MAXCODE =
+//! 2^b - 1` and tests for it inside the decode loop:
+//!
+//! ```text
+//! for i in 0..n:
+//!     if code[i] < MAXCODE: out[i] = base + code[i]
+//!     else:                 out[i] = next exception value
+//! ```
+//!
+//! The data-dependent `if` defeats loop pipelining, and once the exception
+//! rate approaches 50 % the branch becomes unpredictable — Figure 3 shows the
+//! branch miss rate peaking there while throughput collapses. This module
+//! exists purely as the measured baseline; the production path is
+//! [`crate::pfor`].
+
+use crate::bitpack;
+use crate::branch::TwoBitPredictor;
+
+/// A block compressed in the NAIVE sentinel format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBlock {
+    n: u32,
+    b: u8,
+    base: u32,
+    packed: Vec<u64>,
+    exceptions: Vec<u32>,
+}
+
+impl NaiveBlock {
+    /// Compresses `values` as `b`-bit offsets from `base`, using the
+    /// top code `2^b - 1` as the exception sentinel.
+    ///
+    /// # Panics
+    /// Panics if `b` is outside `1..=24`.
+    pub fn encode(values: &[u32], b: u8, base: u32) -> Self {
+        assert!((1..=24).contains(&b), "NAIVE width {b} outside 1..=24");
+        let maxcode = (1u64 << b) - 1;
+        let mut codes = Vec::with_capacity(values.len());
+        let mut exceptions = Vec::new();
+        for &v in values {
+            let offset = u64::from(v.wrapping_sub(base));
+            if offset < maxcode {
+                codes.push(offset as u32);
+            } else {
+                codes.push(maxcode as u32);
+                exceptions.push(v);
+            }
+        }
+        NaiveBlock {
+            n: values.len() as u32,
+            b,
+            base,
+            packed: bitpack::pack(&codes, b),
+            exceptions,
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of exception values.
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Fraction of values stored as exceptions.
+    pub fn exception_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.exceptions.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Decompresses with the paper's NAIVE if-then-else loop.
+    ///
+    /// Deliberately *not* split into two loops: the point of this routine is
+    /// to exhibit the branch-misprediction behaviour of Figure 3.
+    pub fn decode_into(&self, out: &mut Vec<u32>) {
+        let n = self.n as usize;
+        let maxcode = ((1u64 << self.b) - 1) as u32;
+        let mut codes = Vec::new();
+        bitpack::unpack(&self.packed, n, self.b, &mut codes);
+        out.clear();
+        out.reserve(n);
+        let mut j = 0usize;
+        for &code in &codes {
+            if code < maxcode {
+                out.push(self.base.wrapping_add(code));
+            } else {
+                out.push(self.exceptions[j]);
+                j += 1;
+            }
+        }
+    }
+
+    /// Convenience wrapper allocating the output.
+    pub fn decode(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Replays the decode loop's exception-test branch through a two-bit
+    /// saturating branch predictor and returns the modelled miss rate in
+    /// `[0, 1]`. This regenerates the BMR curve of Figure 3 without CPU
+    /// event counters (see DESIGN.md, substitution table).
+    pub fn modelled_branch_miss_rate(&self) -> f64 {
+        let n = self.n as usize;
+        if n == 0 {
+            return 0.0;
+        }
+        let maxcode = ((1u64 << self.b) - 1) as u32;
+        let mut codes = Vec::new();
+        bitpack::unpack(&self.packed, n, self.b, &mut codes);
+        let mut predictor = TwoBitPredictor::default();
+        let mut misses = 0usize;
+        for &code in &codes {
+            let taken = code >= maxcode; // the "exception" branch
+            if predictor.predict() != taken {
+                misses += 1;
+            }
+            predictor.update(taken);
+        }
+        misses as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed() {
+        let values: Vec<u32> = (0..1000)
+            .map(|i| if i % 13 == 0 { 9_999_999 } else { i % 100 })
+            .collect();
+        let block = NaiveBlock::encode(&values, 8, 0);
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        assert!(NaiveBlock::encode(&[], 8, 0).decode().is_empty());
+        assert_eq!(NaiveBlock::encode(&[5], 8, 0).decode(), vec![5]);
+    }
+
+    #[test]
+    fn sentinel_value_is_exception() {
+        // A value exactly at base + maxcode cannot be coded (sentinel).
+        let maxcode = (1u32 << 8) - 1;
+        let values = [maxcode, maxcode - 1, 0];
+        let block = NaiveBlock::encode(&values, 8, 0);
+        assert_eq!(block.exception_count(), 1);
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn naive_codeable_range_is_one_smaller_than_pfor() {
+        // NAIVE reserves the top code, PFOR does not.
+        let values = vec![255u32; 100];
+        let naive = NaiveBlock::encode(&values, 8, 0);
+        let pfor = crate::pfor::PforBlock::encode(&values, 8, 0);
+        assert_eq!(naive.exception_count(), 100);
+        assert_eq!(pfor.exception_count(), 0);
+    }
+
+    #[test]
+    fn branch_miss_rate_low_at_extremes_high_in_middle() {
+        // Deterministic pseudo-random exception placement.
+        let gen = |rate_pct: u32| -> NaiveBlock {
+            let values: Vec<u32> = (0..20_000u32)
+                .map(|i| {
+                    let h = i.wrapping_mul(2654435761) % 100;
+                    if h < rate_pct {
+                        1_000_000 + i
+                    } else {
+                        i % 100
+                    }
+                })
+                .collect();
+            NaiveBlock::encode(&values, 8, 0)
+        };
+        let low = gen(0).modelled_branch_miss_rate();
+        let mid = gen(50).modelled_branch_miss_rate();
+        let high = gen(100).modelled_branch_miss_rate();
+        assert!(low < 0.01, "no exceptions => predictable: {low}");
+        assert!(high < 0.01, "all exceptions => predictable: {high}");
+        assert!(mid > 0.25, "50% exceptions => chaotic: {mid}");
+    }
+
+    #[test]
+    fn wrapping_base() {
+        let values = [u32::MAX, 3, 7];
+        let block = NaiveBlock::encode(&values, 4, u32::MAX - 1);
+        assert_eq!(block.decode(), values);
+    }
+}

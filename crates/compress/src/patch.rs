@@ -1,0 +1,126 @@
+//! Shared exception-patching machinery used by PFOR, PFOR-DELTA and PDICT.
+//!
+//! All three codecs of the paper share the same patch discipline: exception
+//! slots hold the distance to the next exception (a linked list threaded
+//! through the code section), bounded by the code width, with **compulsory
+//! exceptions** inserted to bridge over-long gaps, and **entry points** every
+//! 128 values for fine-granularity range access (Figure 2).
+
+/// Sentinel for "no exception".
+pub const NO_EXCEPTION: u32 = u32::MAX;
+
+/// Entry-point granularity: one entry per 128 values, as in the paper.
+pub const ENTRY_POINT_STRIDE: usize = 128;
+
+/// One entry point: resume information for decoding from a 128-aligned
+/// position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryPoint {
+    /// Position of the first exception at or after this entry's position,
+    /// or [`NO_EXCEPTION`].
+    pub next_exception: u32,
+    /// Index of that exception in the exception section.
+    pub exception_rank: u32,
+}
+
+/// Computes the final exception positions given which positions are
+/// *naturally* uncodeable, inserting compulsory exceptions so that no two
+/// consecutive exceptions are more than `max_gap` apart, and trimming
+/// compulsory entries that trail the last natural exception.
+pub(crate) fn plan_exception_positions(natural: &[bool], max_gap: usize) -> Vec<u32> {
+    let max_gap = max_gap.max(1);
+    let mut positions: Vec<u32> = Vec::new();
+    let mut last: Option<usize> = None;
+    let mut last_natural: usize = 0; // index into `positions` one past the last natural
+    for (i, &nat) in natural.iter().enumerate() {
+        let forced = matches!(last, Some(prev) if i - prev >= max_gap);
+        if nat || forced {
+            positions.push(i as u32);
+            last = Some(i);
+            if nat {
+                last_natural = positions.len();
+            }
+        }
+    }
+    positions.truncate(last_natural);
+    positions
+}
+
+/// Computes per-stride entry points for `n` values given the sorted
+/// exception positions.
+pub(crate) fn build_entry_points(n: usize, exc_positions: &[u32]) -> Vec<EntryPoint> {
+    let count = n.div_ceil(ENTRY_POINT_STRIDE);
+    let mut entries = Vec::with_capacity(count);
+    for k in 0..count {
+        let pos = (k * ENTRY_POINT_STRIDE) as u32;
+        let rank = exc_positions.partition_point(|&p| p < pos);
+        let next = exc_positions.get(rank).copied().unwrap_or(NO_EXCEPTION);
+        entries.push(EntryPoint {
+            next_exception: next,
+            exception_rank: rank as u32,
+        });
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_no_naturals_is_empty() {
+        assert!(plan_exception_positions(&[false; 100], 3).is_empty());
+    }
+
+    #[test]
+    fn plan_keeps_natural_positions() {
+        let mut natural = vec![false; 10];
+        natural[2] = true;
+        natural[4] = true;
+        assert_eq!(plan_exception_positions(&natural, 255), vec![2, 4]);
+    }
+
+    #[test]
+    fn plan_inserts_compulsory_for_long_gap() {
+        let mut natural = vec![false; 20];
+        natural[0] = true;
+        natural[15] = true;
+        let plan = plan_exception_positions(&natural, 5);
+        // Gaps between consecutive entries never exceed 5.
+        assert!(plan.windows(2).all(|w| w[1] - w[0] <= 5), "{plan:?}");
+        assert!(plan.contains(&0) && plan.contains(&15));
+    }
+
+    #[test]
+    fn plan_trims_trailing_compulsory() {
+        let mut natural = vec![false; 100];
+        natural[1] = true;
+        let plan = plan_exception_positions(&natural, 2);
+        assert_eq!(plan, vec![1], "no chain needed after the last natural");
+    }
+
+    #[test]
+    fn plan_gap_of_one_chains_everything_after_first() {
+        let mut natural = vec![false; 6];
+        natural[0] = true;
+        natural[5] = true;
+        let plan = plan_exception_positions(&natural, 1);
+        assert_eq!(plan, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn entry_points_rank_and_next() {
+        let excs = vec![5u32, 130, 200, 300];
+        let eps = build_entry_points(400, &excs);
+        assert_eq!(eps.len(), 4);
+        assert_eq!(eps[0], EntryPoint { next_exception: 5, exception_rank: 0 });
+        assert_eq!(eps[1], EntryPoint { next_exception: 130, exception_rank: 1 });
+        assert_eq!(eps[2], EntryPoint { next_exception: 300, exception_rank: 3 });
+        assert_eq!(eps[3], EntryPoint { next_exception: NO_EXCEPTION, exception_rank: 4 });
+    }
+
+    #[test]
+    fn entry_points_empty_block() {
+        assert!(build_entry_points(0, &[]).is_empty());
+    }
+}

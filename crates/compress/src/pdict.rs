@@ -1,0 +1,349 @@
+//! PDICT — patched dictionary compression (§2.1).
+//!
+//! PDICT maps frequent values to small `b`-bit dictionary codes; infrequent
+//! values become exceptions handled with the same positional linked-list
+//! patching as PFOR. Decompression is again two branch-free loops — LOOP1 is
+//! a gather through the dictionary (`out[i] = dict[code[i]]`), LOOP2 patches
+//! the exception slots.
+//!
+//! The dictionary is padded to the full `2^b` entries so that the gather in
+//! LOOP1 can run unconditionally even over exception slots (whose code words
+//! hold gap values, not dictionary indexes).
+
+use std::collections::HashMap;
+
+use crate::bitpack;
+use crate::patch::{build_entry_points, plan_exception_positions, EntryPoint, NO_EXCEPTION};
+use crate::CodecError;
+
+pub use crate::patch::ENTRY_POINT_STRIDE;
+
+/// Maximum PDICT code width. Capped below PFOR's 24 to bound the padded
+/// dictionary at 65 536 entries; IR columns (quantized scores, `tf`) need
+/// at most a few thousand distinct values anyway.
+pub const MAX_PDICT_WIDTH: u8 = 16;
+
+/// A PDICT-compressed block of `u32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdictBlock {
+    n: u32,
+    b: u8,
+    first_exception: u32,
+    packed: Vec<u64>,
+    exceptions: Vec<u32>,
+    entry_points: Vec<EntryPoint>,
+    /// Padded to `2^b` entries.
+    dict: Vec<u32>,
+}
+
+impl PdictBlock {
+    /// Compresses `values` with a dictionary of at most `2^b` entries built
+    /// from the most frequent values.
+    ///
+    /// # Panics
+    /// Panics if `b` is outside `1..=16`.
+    pub fn encode(values: &[u32], b: u8) -> Self {
+        assert!(
+            (1..=MAX_PDICT_WIDTH).contains(&b),
+            "PDICT width {b} outside 1..=16"
+        );
+        let dict_cap = 1usize << b;
+        let max_gap = dict_cap - 1;
+
+        // Frequency count, then keep the most frequent values.
+        let mut freq: HashMap<u32, u32> = HashMap::new();
+        for &v in values {
+            *freq.entry(v).or_insert(0) += 1;
+        }
+        let mut by_freq: Vec<(u32, u32)> = freq.into_iter().collect();
+        // Sort by descending frequency, ties by value for determinism.
+        by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        by_freq.truncate(dict_cap);
+        let mut dict: Vec<u32> = by_freq.iter().map(|&(v, _)| v).collect();
+        let codes_of: HashMap<u32, u32> = dict
+            .iter()
+            .enumerate()
+            .map(|(c, &v)| (v, c as u32))
+            .collect();
+        dict.resize(dict_cap, 0); // pad so LOOP1's gather never goes out of bounds
+
+        let natural: Vec<bool> = values.iter().map(|v| !codes_of.contains_key(v)).collect();
+        let exc_positions = plan_exception_positions(&natural, max_gap);
+
+        let mut codes: Vec<u32> = Vec::with_capacity(values.len());
+        let mut exceptions: Vec<u32> = Vec::with_capacity(exc_positions.len());
+        let mut exc_idx = 0usize;
+        let mut next_exc = exc_positions.first().copied();
+        for (i, &v) in values.iter().enumerate() {
+            if next_exc == Some(i as u32) {
+                let gap = exc_positions
+                    .get(exc_idx + 1)
+                    .map(|&nx| nx - i as u32)
+                    .unwrap_or(1);
+                codes.push(gap);
+                exceptions.push(v);
+                exc_idx += 1;
+                next_exc = exc_positions.get(exc_idx).copied();
+            } else {
+                codes.push(codes_of[&v]);
+            }
+        }
+
+        let first_exception = exc_positions.first().copied().unwrap_or(NO_EXCEPTION);
+        let entry_points = build_entry_points(values.len(), &exc_positions);
+        PdictBlock {
+            n: values.len() as u32,
+            b,
+            first_exception,
+            packed: bitpack::pack(&codes, b),
+            exceptions,
+            entry_points,
+            dict,
+        }
+    }
+
+    /// Reassembles a block from its serialized parts (see [`crate::block`]).
+    pub(crate) fn from_raw_parts(
+        n: u32,
+        b: u8,
+        first_exception: u32,
+        packed: Vec<u64>,
+        exceptions: Vec<u32>,
+        entry_points: Vec<EntryPoint>,
+        dict: Vec<u32>,
+    ) -> Self {
+        PdictBlock {
+            n,
+            b,
+            first_exception,
+            packed,
+            exceptions,
+            entry_points,
+            dict,
+        }
+    }
+
+    /// The packed code section.
+    pub fn packed_codes(&self) -> &[u64] {
+        &self.packed
+    }
+
+    /// Position of the first exception, or [`NO_EXCEPTION`].
+    pub fn first_exception(&self) -> u32 {
+        self.first_exception
+    }
+
+    /// Entry points (one per [`ENTRY_POINT_STRIDE`] values).
+    pub fn entry_points(&self) -> &[EntryPoint] {
+        &self.entry_points
+    }
+
+    /// Exception values in position order.
+    pub fn exceptions(&self) -> &[u32] {
+        &self.exceptions
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Code width in bits.
+    pub fn width(&self) -> u8 {
+        self.b
+    }
+
+    /// Number of exceptions.
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Fraction of values stored as exceptions.
+    pub fn exception_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.exceptions.len() as f64 / self.n as f64
+        }
+    }
+
+    /// The (padded) dictionary.
+    pub fn dict(&self) -> &[u32] {
+        &self.dict
+    }
+
+    /// Compressed size in bytes: header, codes, exceptions, entry points and
+    /// the *used* dictionary.
+    pub fn compressed_bytes(&self) -> usize {
+        let header = 4 + 1 + 4;
+        let codes = (self.n as usize * self.b as usize).div_ceil(8);
+        let exceptions = self.exceptions.len() * 4;
+        let entries = self.entry_points.len() * 8;
+        let dict = self.dict.len() * 4;
+        header + codes + exceptions + entries + dict
+    }
+
+    /// Effective bits per encoded value.
+    pub fn bits_per_value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.compressed_bytes() as f64 * 8.0 / self.n as f64
+        }
+    }
+
+    /// Decompresses the whole block: branch-free dictionary gather, then the
+    /// patch loop (which reads gaps from the raw code words).
+    pub fn decode_into(&self, out: &mut Vec<u32>) {
+        let n = self.n as usize;
+        let mut codes = Vec::new();
+        bitpack::unpack(&self.packed, n, self.b, &mut codes);
+        out.clear();
+        out.reserve(n);
+        // LOOP1: gather through the padded dictionary — no bounds branch
+        // because codes (including gap values) are < 2^b == dict.len().
+        out.extend(codes.iter().map(|&c| self.dict[c as usize]));
+        // LOOP2: patch.
+        let mut i = self.first_exception as usize;
+        for &exc in &self.exceptions {
+            let gap = codes[i] as usize;
+            out[i] = exc;
+            i += gap;
+        }
+    }
+
+    /// Convenience wrapper allocating the output.
+    pub fn decode(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decompresses `len` values starting at entry-aligned `start`.
+    pub fn decode_range_into(
+        &self,
+        start: usize,
+        len: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<(), CodecError> {
+        if !start.is_multiple_of(ENTRY_POINT_STRIDE) {
+            return Err(CodecError::Misaligned {
+                position: start,
+                stride: ENTRY_POINT_STRIDE,
+            });
+        }
+        let end = start.saturating_add(len);
+        if end > self.n as usize {
+            return Err(CodecError::OutOfBounds {
+                position: end,
+                len: self.n as usize,
+            });
+        }
+        let mut codes = Vec::new();
+        bitpack::unpack_range(&self.packed, start, len, self.b, &mut codes);
+        out.clear();
+        out.reserve(len);
+        out.extend(codes.iter().map(|&c| self.dict[c as usize]));
+        if len == 0 {
+            return Ok(());
+        }
+        let entry = self.entry_points[start / ENTRY_POINT_STRIDE];
+        let mut i = entry.next_exception as usize;
+        let mut rank = entry.exception_rank as usize;
+        // Bound by the exception count as well as the range end: the last
+        // exception's code word holds a filler gap, not a real link.
+        while rank < self.exceptions.len() && i < end {
+            let gap = codes[i - start] as usize;
+            out[i - start] = self.exceptions[rank];
+            rank += 1;
+            i += gap;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_skewed_values() {
+        // Zipf-ish: a few very frequent values, a long tail of rare ones.
+        let values: Vec<u32> = (0..5000u32)
+            .map(|i| if i % 10 < 8 { i % 4 } else { 1_000_000 + i })
+            .collect();
+        let block = PdictBlock::encode(&values, 8);
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn frequent_values_are_coded_not_exceptions() {
+        let values: Vec<u32> = (0..1000u32).map(|i| i % 3).collect();
+        let block = PdictBlock::encode(&values, 2);
+        assert_eq!(block.exception_count(), 0);
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn rare_values_become_exceptions() {
+        // b=1: the dictionary holds only the two most frequent values (7 and
+        // 8), so both rare values are exceptions — plus the compulsory chain
+        // entries that bridge them (max gap is 1 for b=1).
+        let mut values: Vec<u32> = (0..500u32).map(|i| 7 + (i % 2)).collect();
+        values[100] = 123_456;
+        values[300] = 654_321;
+        let block = PdictBlock::encode(&values, 1);
+        assert!(block.exception_count() >= 2);
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        assert!(PdictBlock::encode(&[], 4).decode().is_empty());
+        assert_eq!(PdictBlock::encode(&[9], 4).decode(), vec![9]);
+    }
+
+    #[test]
+    fn more_distinct_values_than_dict_entries() {
+        let values: Vec<u32> = (0..600u32).collect(); // 600 distinct, dict 16
+        let block = PdictBlock::encode(&values, 4);
+        assert_eq!(block.decode(), values);
+        assert!(block.exception_rate() > 0.9);
+    }
+
+    #[test]
+    fn decode_range_matches_full() {
+        let values: Vec<u32> = (0..1500u32)
+            .map(|i| if i % 5 == 0 { 888_888 + i } else { i % 7 })
+            .collect();
+        let block = PdictBlock::encode(&values, 3);
+        let full = block.decode();
+        assert_eq!(full, values);
+        let mut out = Vec::new();
+        for start in (0..values.len()).step_by(ENTRY_POINT_STRIDE) {
+            let len = (values.len() - start).min(200);
+            block.decode_range_into(start, len, &mut out).unwrap();
+            assert_eq!(out, &full[start..start + len], "start={start}");
+        }
+    }
+
+    #[test]
+    fn deterministic_dictionary_order() {
+        let values = [5u32, 5, 3, 3, 9, 9, 1];
+        let a = PdictBlock::encode(&values, 2);
+        let b = PdictBlock::encode(&values, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compressed_smaller_than_raw_for_skewed_data() {
+        let values: Vec<u32> = (0..100_000u32).map(|i| i % 16).collect();
+        let block = PdictBlock::encode(&values, 4);
+        assert!(block.compressed_bytes() < values.len() * 4 / 4);
+    }
+}

@@ -1,0 +1,529 @@
+//! PFOR — Patched Frame-of-Reference compression (§2.1, Figure 2).
+//!
+//! Values are stored as small `b`-bit offsets from a per-block `base`.
+//! Values outside `[base, base + 2^b)` become **exceptions**: they are kept
+//! uncompressed in a separate section, and their code slot instead stores the
+//! distance to the *next* exception, forming a linked list through the code
+//! section. Decompression is then two branch-free loops:
+//!
+//! ```text
+//! LOOP1: out[i] = base + code[i]        // decode regardless
+//! LOOP2: walk the exception list, copying exception values over the
+//!        incorrectly decoded slots      // patch it up
+//! ```
+//!
+//! This avoids the branch-misprediction collapse of the naive
+//! `if (code < MAXCODE)` decoder (see [`crate::naive`] and Figure 3).
+//!
+//! Because the gap between consecutive exceptions must itself fit in `b`
+//! bits, encoding inserts **compulsory exceptions** whenever two natural
+//! exceptions are more than `2^b - 1` positions apart.
+//!
+//! Entry points every [`ENTRY_POINT_STRIDE`] values record the next exception
+//! position and its rank, which "allows fine-granularity access and skipping
+//! ... especially useful during merging of inverted lists" (paper, §2.1).
+
+use crate::bitpack;
+use crate::patch::{build_entry_points, plan_exception_positions};
+use crate::CodecError;
+
+pub use crate::patch::{EntryPoint, ENTRY_POINT_STRIDE, NO_EXCEPTION};
+
+/// Maximum code width supported by PFOR, per the paper ("bit-widths b that
+/// may vary 1 ≤ b ≤ 24").
+pub const MAX_PFOR_WIDTH: u8 = 24;
+
+/// A PFOR-compressed block of `u32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PforBlock {
+    n: u32,
+    b: u8,
+    base: u32,
+    first_exception: u32,
+    packed: Vec<u64>,
+    exceptions: Vec<u32>,
+    entry_points: Vec<EntryPoint>,
+}
+
+impl PforBlock {
+    /// Compresses `values` with an automatically chosen width and base
+    /// (minimizing total compressed size).
+    pub fn encode_auto(values: &[u32]) -> Self {
+        let (b, base) = choose_parameters(values);
+        Self::encode(values, b, base)
+    }
+
+    /// Compresses `values` with the given width, choosing the base
+    /// automatically. The paper's IR experiments fix `b = 8` this way.
+    pub fn encode_with_width(values: &[u32], b: u8) -> Self {
+        let base = choose_base(values, b);
+        Self::encode(values, b, base)
+    }
+
+    /// Compresses `values` as `b`-bit offsets from `base`.
+    ///
+    /// # Panics
+    /// Panics if `b` is outside `1..=24`.
+    pub fn encode(values: &[u32], b: u8, base: u32) -> Self {
+        assert!(
+            (1..=MAX_PFOR_WIDTH).contains(&b),
+            "PFOR width {b} outside 1..=24"
+        );
+        let n = values.len();
+        let code_range = 1u64 << b; // all 2^b codes usable: exceptions are positional
+        let max_gap = (code_range - 1) as usize; // gap must fit in a code word
+
+        let natural: Vec<bool> = values
+            .iter()
+            .map(|&v| u64::from(v.wrapping_sub(base)) >= code_range)
+            .collect();
+        let exc_positions = plan_exception_positions(&natural, max_gap);
+
+        // Build code words.
+        let mut codes: Vec<u32> = Vec::with_capacity(n);
+        let mut exceptions: Vec<u32> = Vec::with_capacity(exc_positions.len());
+        let mut next_exc_iter = exc_positions.iter().copied().peekable();
+        let mut exc_idx = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            if next_exc_iter.peek() == Some(&(i as u32)) {
+                next_exc_iter.next();
+                // Gap to the following exception (or 1 as a harmless filler
+                // for the last one; LOOP2's trip count stops the walk).
+                let gap = exc_positions
+                    .get(exc_idx + 1)
+                    .map(|&nx| nx - i as u32)
+                    .unwrap_or(1);
+                codes.push(gap);
+                exceptions.push(v);
+                exc_idx += 1;
+            } else {
+                codes.push(v.wrapping_sub(base));
+            }
+        }
+
+        let packed = bitpack::pack(&codes, b);
+        let first_exception = exc_positions.first().copied().unwrap_or(NO_EXCEPTION);
+        let entry_points = build_entry_points(n, &exc_positions);
+
+        PforBlock {
+            n: n as u32,
+            b,
+            base,
+            first_exception,
+            packed,
+            exceptions,
+            entry_points,
+        }
+    }
+
+    /// Reassembles a block from its serialized parts (see [`crate::block`]).
+    /// Invariants are the deserializer's responsibility.
+    pub(crate) fn from_raw_parts(
+        n: u32,
+        b: u8,
+        base: u32,
+        first_exception: u32,
+        packed: Vec<u64>,
+        exceptions: Vec<u32>,
+        entry_points: Vec<EntryPoint>,
+    ) -> Self {
+        PforBlock {
+            n,
+            b,
+            base,
+            first_exception,
+            packed,
+            exceptions,
+            entry_points,
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Code width in bits.
+    pub fn width(&self) -> u8 {
+        self.b
+    }
+
+    /// Frame-of-reference base.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of exception values (natural + compulsory).
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Fraction of values stored as exceptions.
+    pub fn exception_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.exceptions.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Exception values in position order (the physical block layout grows
+    /// this section backwards; see [`crate::block`]).
+    pub fn exceptions(&self) -> &[u32] {
+        &self.exceptions
+    }
+
+    /// Entry points (one per [`ENTRY_POINT_STRIDE`] values).
+    pub fn entry_points(&self) -> &[EntryPoint] {
+        &self.entry_points
+    }
+
+    /// The packed code section.
+    pub fn packed_codes(&self) -> &[u64] {
+        &self.packed
+    }
+
+    /// Position of the first exception, or [`NO_EXCEPTION`].
+    pub fn first_exception(&self) -> u32 {
+        self.first_exception
+    }
+
+    /// Compressed size in bytes (code section + exceptions + entry points +
+    /// fixed header), as accounted by the compression-ratio experiment.
+    pub fn compressed_bytes(&self) -> usize {
+        let header = 4 + 1 + 4 + 4; // n, b, base, first_exception
+        let codes = (self.n as usize * self.b as usize).div_ceil(8);
+        let exceptions = self.exceptions.len() * 4;
+        let entries = self.entry_points.len() * 8;
+        header + codes + exceptions + entries
+    }
+
+    /// Effective bits per encoded value.
+    pub fn bits_per_value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.compressed_bytes() as f64 * 8.0 / self.n as f64
+        }
+    }
+
+    /// Decompresses the whole block into `out` (cleared first) using
+    /// **patched** two-loop decoding.
+    pub fn decode_into(&self, out: &mut Vec<u32>) {
+        let n = self.n as usize;
+        // LOOP1: unpack + apply base, branch-free over all values.
+        bitpack::unpack(&self.packed, n, self.b, out);
+        let base = self.base;
+        for v in out.iter_mut() {
+            *v = base.wrapping_add(*v);
+        }
+        // LOOP2: patch it up. The gap is recovered from the (incorrectly)
+        // decoded slot: LOOP1 wrote base + gap there.
+        let mut i = self.first_exception as usize;
+        for &exc in &self.exceptions {
+            let gap = out[i].wrapping_sub(base) as usize;
+            out[i] = exc;
+            i += gap;
+        }
+    }
+
+    /// Convenience wrapper allocating the output.
+    pub fn decode(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decompresses `len` values starting at `start` (which must be a
+    /// multiple of [`ENTRY_POINT_STRIDE`]) using the entry points, without
+    /// touching the rest of the block. This is the "fine-granularity access
+    /// and skipping" path used while merging inverted lists.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Misaligned`] if `start` is not entry-aligned,
+    /// or [`CodecError::OutOfBounds`] if the range exceeds the block.
+    pub fn decode_range_into(
+        &self,
+        start: usize,
+        len: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<(), CodecError> {
+        if !start.is_multiple_of(ENTRY_POINT_STRIDE) {
+            return Err(CodecError::Misaligned {
+                position: start,
+                stride: ENTRY_POINT_STRIDE,
+            });
+        }
+        let end = start
+            .checked_add(len)
+            .ok_or(CodecError::OutOfBounds { position: usize::MAX, len: self.n as usize })?;
+        if end > self.n as usize {
+            return Err(CodecError::OutOfBounds {
+                position: end,
+                len: self.n as usize,
+            });
+        }
+        // LOOP1 over the range only.
+        bitpack::unpack_range(&self.packed, start, len, self.b, out);
+        let base = self.base;
+        for v in out.iter_mut() {
+            *v = base.wrapping_add(*v);
+        }
+        // LOOP2 from the entry point covering `start`.
+        if len == 0 {
+            return Ok(());
+        }
+        let entry = self.entry_points[start / ENTRY_POINT_STRIDE];
+        let mut i = entry.next_exception as usize;
+        let mut rank = entry.exception_rank as usize;
+        // Bound by the exception count as well as the range end: the last
+        // exception's code word holds a filler gap, not a real link.
+        while rank < self.exceptions.len() && i < end {
+            let gap = out[i - start].wrapping_sub(base) as usize;
+            out[i - start] = self.exceptions[rank];
+            rank += 1;
+            i += gap;
+        }
+        Ok(())
+    }
+}
+
+/// Chooses the base for a fixed width `b`: slides a window of width `2^b`
+/// over the sorted values and keeps the start covering the most values
+/// (fewest exceptions).
+pub fn choose_base(values: &[u32], b: u8) -> u32 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let range = 1u64 << b;
+    let mut best_base = sorted[0];
+    let mut best_cover = 0usize;
+    let mut lo = 0usize;
+    for hi in 0..sorted.len() {
+        while u64::from(sorted[hi]) - u64::from(sorted[lo]) >= range {
+            lo += 1;
+        }
+        let cover = hi - lo + 1;
+        if cover > best_cover {
+            best_cover = cover;
+            best_base = sorted[lo];
+        }
+    }
+    best_base
+}
+
+/// Chooses `(width, base)` minimizing the estimated compressed size:
+/// `n*b` bits of codes plus 32 bits per exception.
+pub fn choose_parameters(values: &[u32]) -> (u8, u32) {
+    if values.is_empty() {
+        return (1, 0);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let mut best: Option<(u64, u8, u32)> = None;
+    for b in 1..=MAX_PFOR_WIDTH {
+        let range = 1u64 << b;
+        // Best coverage window for this width.
+        let mut best_cover = 0usize;
+        let mut base = sorted[0];
+        let mut lo = 0usize;
+        for hi in 0..n {
+            while u64::from(sorted[hi]) - u64::from(sorted[lo]) >= range {
+                lo += 1;
+            }
+            let cover = hi - lo + 1;
+            if cover > best_cover {
+                best_cover = cover;
+                base = sorted[lo];
+            }
+        }
+        let exceptions = (n - best_cover) as u64;
+        let cost_bits = n as u64 * u64::from(b) + exceptions * 32;
+        if best.is_none_or(|(c, _, _)| cost_bits < c) {
+            best = Some((cost_bits, b, base));
+        }
+    }
+    let (_, b, base) = best.expect("non-empty input always yields parameters");
+    (b, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32], b: u8) {
+        let base = choose_base(values, b);
+        let block = PforBlock::encode(values, b, base);
+        assert_eq!(block.decode(), values, "b={b} base={base}");
+    }
+
+    #[test]
+    fn roundtrip_no_exceptions() {
+        let values: Vec<u32> = (100..400).collect();
+        let block = PforBlock::encode(&values, 9, 100);
+        assert_eq!(block.exception_count(), 0);
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn roundtrip_with_exceptions() {
+        let mut values: Vec<u32> = (0..1000).map(|i| i % 200).collect();
+        values[17] = 1_000_000;
+        values[503] = 2_000_000_000;
+        roundtrip(&values, 8);
+    }
+
+    #[test]
+    fn roundtrip_all_exceptions() {
+        // Base far away: every value is an exception.
+        let values: Vec<u32> = (0..300).map(|i| 1_000_000 + i * 7).collect();
+        let block = PforBlock::encode(&values, 4, 0);
+        assert!(block.exception_rate() > 0.9);
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let block = PforBlock::encode(&[], 8, 0);
+        assert!(block.is_empty());
+        assert!(block.decode().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_single() {
+        let block = PforBlock::encode(&[7], 3, 0);
+        assert_eq!(block.decode(), vec![7]);
+        let block = PforBlock::encode(&[900], 3, 0);
+        assert_eq!(block.decode(), vec![900]);
+    }
+
+    #[test]
+    fn pi_digits_example_from_figure_2() {
+        // The paper's Figure 2: digits of pi stored with PFOR b=3, base=0.
+        // Digits >= 8 are exceptions.
+        let pi = [3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2];
+        let block = PforBlock::encode(&pi, 3, 0);
+        // Exceptions are the digits 9, 8, 9, 9 (values >= 8).
+        assert_eq!(block.exceptions(), &[9, 8, 9, 9]);
+        assert_eq!(block.first_exception(), 5);
+        assert_eq!(block.decode(), pi);
+    }
+
+    #[test]
+    fn compulsory_exceptions_bridge_long_gaps() {
+        // b=2 => max gap 3. Two natural exceptions far apart force
+        // intermediate compulsory exceptions.
+        let mut values = vec![1u32; 64];
+        values[0] = 1000; // natural exception
+        values[63] = 2000; // natural exception
+        let block = PforBlock::encode(&values, 2, 0);
+        assert!(block.exception_count() > 2, "needs compulsory exceptions");
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn no_trailing_compulsory_exceptions() {
+        // Natural exception early, then a long codeable tail: the tail must
+        // not accumulate forced exceptions.
+        let mut values = vec![1u32; 1024];
+        values[3] = 1_000_000;
+        let block = PforBlock::encode(&values, 2, 0);
+        assert_eq!(block.exception_count(), 1);
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn width_boundaries() {
+        let values: Vec<u32> = (0..500).map(|i| i * 37 % 1000).collect();
+        roundtrip(&values, 1);
+        roundtrip(&values, 24);
+    }
+
+    #[test]
+    fn wrapping_base_handles_u32_extremes() {
+        let values = [u32::MAX, 0, u32::MAX - 1, 1];
+        let block = PforBlock::encode(&values, 8, u32::MAX - 10);
+        assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn decode_range_matches_full_decode() {
+        let values: Vec<u32> = (0..1000)
+            .map(|i| if i % 97 == 0 { 5_000_000 } else { i % 250 })
+            .collect();
+        let block = PforBlock::encode(&values, 8, 0);
+        let full = block.decode();
+        let mut out = Vec::new();
+        for start in (0..values.len()).step_by(ENTRY_POINT_STRIDE) {
+            let len = (values.len() - start).min(ENTRY_POINT_STRIDE);
+            block.decode_range_into(start, len, &mut out).unwrap();
+            assert_eq!(out, &full[start..start + len], "start={start}");
+        }
+        // A longer, multi-stride range.
+        block.decode_range_into(128, 512, &mut out).unwrap();
+        assert_eq!(out, &full[128..640]);
+    }
+
+    #[test]
+    fn decode_range_rejects_misaligned_start() {
+        let block = PforBlock::encode(&[1, 2, 3], 4, 0);
+        let mut out = Vec::new();
+        assert!(matches!(
+            block.decode_range_into(1, 1, &mut out),
+            Err(CodecError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_range_rejects_overflow() {
+        let block = PforBlock::encode(&[1, 2, 3], 4, 0);
+        let mut out = Vec::new();
+        assert!(matches!(
+            block.decode_range_into(0, 99, &mut out),
+            Err(CodecError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn choose_base_prefers_dense_region() {
+        // Most values cluster near 1000; outliers below should not drag the
+        // base down.
+        let mut values: Vec<u32> = (1000..1200).collect();
+        values.push(0);
+        values.push(5);
+        let base = choose_base(&values, 8);
+        assert_eq!(base, 1000);
+    }
+
+    #[test]
+    fn choose_parameters_picks_small_width_for_small_range() {
+        let values: Vec<u32> = (0..512).map(|i| i % 16).collect();
+        let (b, base) = choose_parameters(&values);
+        assert!(b <= 5, "b={b}");
+        assert_eq!(base, 0);
+    }
+
+    #[test]
+    fn compressed_size_reflects_width() {
+        let values: Vec<u32> = (0..10_000).map(|i| i % 200).collect();
+        let block = PforBlock::encode_with_width(&values, 8);
+        // ~8 bits/value plus small overhead.
+        assert!(block.bits_per_value() < 10.0, "{}", block.bits_per_value());
+        assert!(block.bits_per_value() >= 8.0);
+    }
+
+    #[test]
+    fn entry_points_cover_all_strides() {
+        let values: Vec<u32> = (0..300).collect();
+        let block = PforBlock::encode_with_width(&values, 8);
+        assert_eq!(block.entry_points().len(), 3); // ceil(300/128)
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the compression codecs.
+//!
+//! Core invariants:
+//! * every codec round-trips arbitrary `u32` data, at any width;
+//! * patched and naive decompression agree on the values they reconstruct;
+//! * range decoding agrees with full decoding on every aligned window;
+//! * serialization round-trips bit-exactly.
+
+use proptest::prelude::*;
+use x100_compress::{
+    Codec, CompressedBlock, NaiveBlock, PdictBlock, PforBlock, PforDeltaBlock,
+    ENTRY_POINT_STRIDE,
+};
+
+/// Value distributions that stress different codec paths: uniform small
+/// (codeable), uniform full-range (exception-heavy), and clustered.
+fn value_vec() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        prop::collection::vec(0u32..256, 0..2000),
+        prop::collection::vec(any::<u32>(), 0..600),
+        prop::collection::vec(
+            prop_oneof![Just(5u32), Just(17u32), 1_000_000u32..1_000_100, any::<u32>()],
+            0..1500
+        ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn pfor_roundtrips(values in value_vec(), b in 1u8..=24) {
+        let block = PforBlock::encode_with_width(&values, b);
+        prop_assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn pfor_auto_roundtrips(values in value_vec()) {
+        let block = PforBlock::encode_auto(&values);
+        prop_assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn pfor_delta_roundtrips(values in value_vec(), b in 1u8..=24) {
+        let block = PforDeltaBlock::encode_with_width(&values, b);
+        prop_assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn pdict_roundtrips(values in value_vec(), b in 1u8..=12) {
+        let block = PdictBlock::encode(&values, b);
+        prop_assert_eq!(block.decode(), values);
+    }
+
+    #[test]
+    fn naive_roundtrips(values in value_vec(), b in 1u8..=24) {
+        let base = values.iter().copied().min().unwrap_or(0);
+        let block = NaiveBlock::encode(&values, b, base);
+        prop_assert_eq!(block.decode(), values);
+    }
+
+    /// The headline Figure 3 equivalence: the patched decoder and the naive
+    /// decoder are different *algorithms and formats* but must reconstruct
+    /// identical data from identical input.
+    #[test]
+    fn patched_equals_naive(values in value_vec(), b in 1u8..=24) {
+        let patched = PforBlock::encode_with_width(&values, b).decode();
+        let base = x100_compress::pfor::choose_base(&values, b);
+        let naive = NaiveBlock::encode(&values, b, base).decode();
+        prop_assert_eq!(patched, naive);
+    }
+
+    /// Every aligned window of a PFOR block range-decodes to the same values
+    /// as the corresponding slice of the full decode.
+    #[test]
+    fn pfor_range_decode_consistent(values in value_vec(), b in 1u8..=16) {
+        let block = PforBlock::encode_with_width(&values, b);
+        let full = block.decode();
+        let mut out = Vec::new();
+        for start in (0..values.len()).step_by(ENTRY_POINT_STRIDE) {
+            let len = (values.len() - start).min(ENTRY_POINT_STRIDE * 2);
+            block.decode_range_into(start, len, &mut out).unwrap();
+            prop_assert_eq!(&out, &full[start..start + len]);
+        }
+    }
+
+    #[test]
+    fn pfor_delta_range_decode_consistent(values in value_vec(), b in 1u8..=16) {
+        let block = PforDeltaBlock::encode_with_width(&values, b);
+        let full = block.decode();
+        let mut out = Vec::new();
+        for start in (0..values.len()).step_by(ENTRY_POINT_STRIDE) {
+            let len = (values.len() - start).min(ENTRY_POINT_STRIDE + 37);
+            block.decode_range_into(start, len, &mut out).unwrap();
+            prop_assert_eq!(&out, &full[start..start + len]);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrips(values in value_vec()) {
+        for codec in [
+            Codec::Raw,
+            Codec::Pfor { width: 8 },
+            Codec::PforDelta { width: 8 },
+            Codec::Pdict { width: 8 },
+        ] {
+            let block = CompressedBlock::encode(&values, codec);
+            let back = CompressedBlock::from_bytes(&block.to_bytes()).unwrap();
+            prop_assert_eq!(&back, &block);
+        }
+    }
+
+    /// Deserialization must never panic on arbitrary bytes — corrupt input
+    /// yields an error, not UB or an abort.
+    #[test]
+    fn from_bytes_never_panics(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = CompressedBlock::from_bytes(&data);
+    }
+
+    /// Deserializing a truncated valid block must fail or produce the same
+    /// values, never garbage.
+    #[test]
+    fn truncated_blocks_fail_cleanly(values in value_vec(), cut_frac in 0.0f64..1.0) {
+        let bytes = CompressedBlock::encode(&values, Codec::Pfor { width: 8 }).to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(CompressedBlock::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Compressed size accounting is an upper bound on what serialization
+    /// actually produces (within the per-section length words).
+    #[test]
+    fn bits_per_value_sane(values in prop::collection::vec(0u32..200, 1..2000)) {
+        let block = PforBlock::encode_with_width(&values, 8);
+        prop_assert!(block.bits_per_value() >= 8.0);
+        prop_assert!(block.bits_per_value() < 32.0 + 200.0 / values.len() as f64 * 8.0);
+    }
+}

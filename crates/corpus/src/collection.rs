@@ -1,0 +1,353 @@
+//! Synthetic collection generation.
+//!
+//! The generator works in three phases, all driven by one seeded RNG so the
+//! whole workload is reproducible from `CollectionConfig::seed`:
+//!
+//! 1. **Queries first** — the evaluation queries and their planted relevant
+//!    document sets are drawn before any document exists.
+//! 2. **Documents** — each document draws a length, then fills itself with
+//!    Zipf-distributed terms. If the document was planted as relevant to
+//!    some evaluation query, each of that query's terms is injected with a
+//!    boosted term frequency.
+//! 3. **Efficiency log** — a larger, unjudged query stream with the same
+//!    length/selectivity profile (the 50 000-query analogue).
+
+use std::collections::{BTreeMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::eval::EvalQuery;
+use crate::query::{sample_query_terms, QueryLogConfig};
+use crate::zipf::ZipfSampler;
+
+/// Generation parameters for the synthetic collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionConfig {
+    /// Number of documents (the paper's GOV2 has 25 M; defaults here are
+    /// laptop-scale while keeping list-length *ratios* similar).
+    pub num_docs: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Mean document length in term occurrences.
+    pub avg_doc_len: usize,
+    /// Zipf exponent for the term distribution.
+    pub zipf_exponent: f64,
+    /// Number of judged evaluation queries (the paper uses 50).
+    pub num_eval_queries: usize,
+    /// Relevant documents planted per evaluation query.
+    pub relevant_per_query: usize,
+    /// Term-frequency boost range `[lo, hi]` injected into relevant
+    /// documents for their query's terms.
+    pub boost_tf: (u32, u32),
+    /// Query-log shape shared by evaluation and efficiency queries.
+    pub query_log: QueryLogConfig,
+    /// Number of unjudged efficiency queries.
+    pub num_efficiency_queries: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl CollectionConfig {
+    /// A millisecond-scale collection for unit tests and doctests.
+    pub fn tiny() -> Self {
+        CollectionConfig {
+            num_docs: 300,
+            vocab_size: 500,
+            avg_doc_len: 60,
+            zipf_exponent: 1.0,
+            num_eval_queries: 5,
+            relevant_per_query: 10,
+            boost_tf: (3, 8),
+            query_log: QueryLogConfig::tiny(),
+            num_efficiency_queries: 30,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A second-scale collection for integration tests.
+    pub fn small() -> Self {
+        CollectionConfig {
+            num_docs: 10_000,
+            vocab_size: 8_000,
+            avg_doc_len: 120,
+            zipf_exponent: 1.0,
+            num_eval_queries: 20,
+            relevant_per_query: 30,
+            boost_tf: (3, 9),
+            query_log: QueryLogConfig::default(),
+            num_efficiency_queries: 300,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The benchmark-harness scale used to regenerate Tables 2 and 3
+    /// (minutes of end-to-end run time in release mode).
+    pub fn benchmark() -> Self {
+        CollectionConfig {
+            num_docs: 100_000,
+            vocab_size: 40_000,
+            avg_doc_len: 200,
+            zipf_exponent: 1.0,
+            num_eval_queries: 50,
+            relevant_per_query: 40,
+            boost_tf: (3, 9),
+            query_log: QueryLogConfig::default(),
+            num_efficiency_queries: 2_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Default for CollectionConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// One synthetic document: sorted `(term, tf)` pairs plus metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Dense id, equal to the document's index in the collection.
+    pub id: u32,
+    /// Stable synthetic name (what the paper's final Project fetches).
+    pub name: String,
+    /// Distinct terms with their within-document frequency, sorted by term.
+    pub terms: Vec<(u32, u32)>,
+    /// Total length in term occurrences (`sum of tf`).
+    pub len: u32,
+}
+
+/// The full synthetic workload: documents, vocabulary, judged queries and
+/// the efficiency query stream.
+#[derive(Debug, Clone)]
+pub struct SyntheticCollection {
+    /// The configuration it was generated from.
+    pub config: CollectionConfig,
+    /// All documents; `docs[i].id == i`.
+    pub docs: Vec<Document>,
+    /// Term strings; term id `t` is `vocab[t]` (= `"term{t}"`).
+    pub vocab: Vec<String>,
+    /// Judged queries with planted relevance.
+    pub eval_queries: Vec<EvalQuery>,
+    /// Unjudged efficiency queries (term-id lists).
+    pub efficiency_log: Vec<Vec<u32>>,
+}
+
+impl SyntheticCollection {
+    /// Generates the collection deterministically from the config.
+    pub fn generate(config: &CollectionConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let zipf = ZipfSampler::new(config.vocab_size, config.zipf_exponent);
+
+        // Phase 1: evaluation queries + planted relevance.
+        //
+        // Judged topics draw from the mid-frequency band only (no tail
+        // terms): planted relevant documents contain *all* their query's
+        // terms, so a super-rare term would make the conjunctive result set
+        // nearly coincide with the relevant set and boolean "precision"
+        // would be an artifact. The efficiency log (phase 3) does include
+        // tail terms — that is what exercises the two-pass fallback.
+        let eval_log_cfg = QueryLogConfig {
+            tail_prob: 0.0,
+            ..config.query_log.clone()
+        };
+        let mut eval_queries: Vec<EvalQuery> = Vec::with_capacity(config.num_eval_queries);
+        // docid -> list of eval-query indexes it is relevant to.
+        let mut planted: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for qi in 0..config.num_eval_queries {
+            let terms = sample_query_terms(&eval_log_cfg, config.vocab_size, &mut rng);
+            let mut relevant = HashSet::with_capacity(config.relevant_per_query);
+            while relevant.len() < config.relevant_per_query.min(config.num_docs) {
+                let d = rng.gen_range(0..config.num_docs as u32);
+                if relevant.insert(d) {
+                    planted.entry(d).or_default().push(qi);
+                }
+            }
+            eval_queries.push(EvalQuery { terms, relevant });
+        }
+
+        // Phase 2: documents.
+        let mut docs = Vec::with_capacity(config.num_docs);
+        for id in 0..config.num_docs as u32 {
+            let len_target = draw_doc_len(config.avg_doc_len, &mut rng);
+            let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+            let mut drawn = 0usize;
+            while drawn < len_target {
+                let t = zipf.sample(&mut rng) as u32;
+                *counts.entry(t).or_insert(0) += 1;
+                drawn += 1;
+            }
+            // Inject boosted query terms into planted-relevant documents.
+            if let Some(queries) = planted.get(&id) {
+                for &qi in queries {
+                    for &t in &eval_queries[qi].terms {
+                        let boost = rng.gen_range(config.boost_tf.0..=config.boost_tf.1);
+                        *counts.entry(t).or_insert(0) += boost;
+                    }
+                }
+            }
+            let terms: Vec<(u32, u32)> = counts.into_iter().collect();
+            let len: u32 = terms.iter().map(|&(_, tf)| tf).sum();
+            docs.push(Document {
+                id,
+                name: format!("doc-{id:08}"),
+                terms,
+                len,
+            });
+        }
+
+        // Phase 3: efficiency log.
+        let efficiency_log = (0..config.num_efficiency_queries)
+            .map(|_| sample_query_terms(&config.query_log, config.vocab_size, &mut rng))
+            .collect();
+
+        let vocab = (0..config.vocab_size).map(|t| format!("term{t}")).collect();
+
+        SyntheticCollection {
+            config: config.clone(),
+            docs,
+            vocab,
+            eval_queries,
+            efficiency_log,
+        }
+    }
+
+    /// Total term occurrences across the collection.
+    pub fn total_occurrences(&self) -> u64 {
+        self.docs.iter().map(|d| u64::from(d.len)).sum()
+    }
+
+    /// Average document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_occurrences() as f64 / self.docs.len() as f64
+        }
+    }
+
+    /// Document frequency of a term (number of documents containing it) —
+    /// `f_{T,D}` in the paper's BM25 notation.
+    pub fn document_frequency(&self, term: u32) -> usize {
+        self.docs
+            .iter()
+            .filter(|d| d.terms.binary_search_by_key(&term, |&(t, _)| t).is_ok())
+            .count()
+    }
+}
+
+/// Document lengths: a geometric-ish two-sided spread around the mean with
+/// a floor of 8 occurrences, giving BM25's length normalization something
+/// to normalize.
+fn draw_doc_len(avg: usize, rng: &mut impl Rng) -> usize {
+    let avg = avg.max(8) as f64;
+    // Log-uniform multiplier in [0.3, 3.0]: median ~0.95, long right tail.
+    let factor = (rng.gen::<f64>() * (3.0f64 / 0.3).ln()).exp() * 0.3;
+    (avg * factor).round().max(8.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CollectionConfig::tiny();
+        let a = SyntheticCollection::generate(&cfg);
+        let b = SyntheticCollection::generate(&cfg);
+        assert_eq!(a.docs, b.docs);
+        assert_eq!(a.efficiency_log, b.efficiency_log);
+        assert_eq!(a.eval_queries.len(), b.eval_queries.len());
+        for (qa, qb) in a.eval_queries.iter().zip(&b.eval_queries) {
+            assert_eq!(qa.terms, qb.terms);
+            assert_eq!(qa.relevant, qb.relevant);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = CollectionConfig::tiny();
+        let a = SyntheticCollection::generate(&cfg);
+        cfg.seed += 1;
+        let b = SyntheticCollection::generate(&cfg);
+        assert_ne!(a.docs, b.docs);
+    }
+
+    #[test]
+    fn document_invariants_hold() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        assert_eq!(c.docs.len(), c.config.num_docs);
+        for (i, d) in c.docs.iter().enumerate() {
+            assert_eq!(d.id as usize, i);
+            assert!(!d.terms.is_empty());
+            // Terms sorted, distinct, in-vocabulary, tf >= 1.
+            assert!(d.terms.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(d.terms.iter().all(|&(t, tf)| {
+                (t as usize) < c.config.vocab_size && tf >= 1
+            }));
+            assert_eq!(d.len, d.terms.iter().map(|&(_, tf)| tf).sum::<u32>());
+        }
+    }
+
+    #[test]
+    fn avg_doc_len_near_target() {
+        let c = SyntheticCollection::generate(&CollectionConfig::small());
+        let target = c.config.avg_doc_len as f64;
+        let got = c.avg_doc_len();
+        assert!(
+            (got - target).abs() < target * 0.35,
+            "avg len {got} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn zipf_head_terms_have_high_df() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let head = c.document_frequency(0);
+        let tail = c.document_frequency((c.config.vocab_size - 1) as u32);
+        assert!(head > tail, "head df {head} vs tail df {tail}");
+        assert!(head > c.docs.len() / 2, "rank-0 term should be near-universal");
+    }
+
+    #[test]
+    fn relevant_docs_contain_query_terms_boosted() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        for q in &c.eval_queries {
+            for &d in &q.relevant {
+                let doc = &c.docs[d as usize];
+                for &t in &q.terms {
+                    let tf = doc
+                        .terms
+                        .binary_search_by_key(&t, |&(t2, _)| t2)
+                        .map(|i| doc.terms[i].1)
+                        .unwrap_or(0);
+                    assert!(
+                        tf >= c.config.boost_tf.0,
+                        "relevant doc {d} lacks boosted term {t} (tf={tf})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_logs_have_sane_shape() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        assert_eq!(c.efficiency_log.len(), c.config.num_efficiency_queries);
+        for q in &c.efficiency_log {
+            assert!(!q.is_empty());
+            assert!(q.iter().all(|&t| (t as usize) < c.config.vocab_size));
+            // Terms within a query are distinct.
+            let set: HashSet<_> = q.iter().collect();
+            assert_eq!(set.len(), q.len());
+        }
+    }
+
+    #[test]
+    fn vocab_names_match_ids() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        assert_eq!(c.vocab[7], "term7");
+        assert_eq!(c.vocab.len(), c.config.vocab_size);
+    }
+}

@@ -1,0 +1,101 @@
+//! Relevance judgments and early-precision evaluation.
+//!
+//! TREC-TB measures effectiveness by **p@20** — the fraction of the top 20
+//! returned documents that are relevant — over a 50-query judged subset
+//! (§3.1, Table 1, Table 2). Our judgments are *generative* (planted at
+//! collection-build time) rather than human, which preserves the property
+//! Table 2 actually demonstrates: ranking models that exploit term
+//! frequency (BM25, quantized BM25) find the relevant documents; boolean
+//! retrieval does not.
+
+use std::collections::HashSet;
+
+/// A judged query: its term ids and the planted relevant document set.
+#[derive(Debug, Clone)]
+pub struct EvalQuery {
+    /// Distinct term ids.
+    pub terms: Vec<u32>,
+    /// Relevant document ids.
+    pub relevant: HashSet<u32>,
+}
+
+/// Precision at cutoff `k`: `|top-k ∩ relevant| / k`.
+///
+/// Matches TREC conventions: the divisor is `k` even if fewer than `k`
+/// documents were returned (unreturned slots count as misses).
+pub fn precision_at_k(ranked: &[u32], relevant: &HashSet<u32>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|d| relevant.contains(d))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Mean p@k over many queries (the paper's headline effectiveness number).
+pub fn mean_precision_at_k(runs: &[(Vec<u32>, &HashSet<u32>)], k: usize) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter()
+        .map(|(ranked, relevant)| precision_at_k(ranked, relevant, k))
+        .sum::<f64>()
+        / runs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(ids: &[u32]) -> HashSet<u32> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let relevant = rel(&[1, 2, 3]);
+        assert_eq!(precision_at_k(&[1, 2, 3], &relevant, 3), 1.0);
+    }
+
+    #[test]
+    fn misses_count_against_k() {
+        let relevant = rel(&[1]);
+        // Only 1 of top-4 relevant.
+        assert_eq!(precision_at_k(&[1, 9, 8, 7], &relevant, 4), 0.25);
+    }
+
+    #[test]
+    fn short_result_lists_penalized() {
+        let relevant = rel(&[1, 2]);
+        // Returned only 2 docs but k=4: 2/4.
+        assert_eq!(precision_at_k(&[1, 2], &relevant, 4), 0.5);
+    }
+
+    #[test]
+    fn only_top_k_considered() {
+        let relevant = rel(&[5]);
+        // Relevant doc ranked 3rd does not help p@2.
+        assert_eq!(precision_at_k(&[9, 8, 5], &relevant, 2), 0.0);
+    }
+
+    #[test]
+    fn k_zero_is_zero() {
+        assert_eq!(precision_at_k(&[1], &rel(&[1]), 0), 0.0);
+    }
+
+    #[test]
+    fn mean_over_queries() {
+        let r1 = rel(&[1]);
+        let r2 = rel(&[2]);
+        let runs = vec![(vec![1u32, 9], &r1), (vec![9u32, 8], &r2)];
+        assert_eq!(mean_precision_at_k(&runs, 2), 0.25); // (0.5 + 0.0) / 2
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean_precision_at_k(&[], 20), 0.0);
+    }
+}

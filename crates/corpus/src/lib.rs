@@ -1,0 +1,39 @@
+//! Synthetic TREC-TeraByte-like workload (the GOV2 substitute).
+//!
+//! The paper evaluates on the TREC TeraByte track: 25 M web documents
+//! (426 GB), 50 000 keyword queries averaging 2.3 terms, and relevance
+//! judgments for a 50-query subset scored with early precision (p@20)
+//! (§3.1). We cannot ship GOV2, and the experiments do not need its *text* —
+//! they need its *statistics*: Zipfian term frequencies (which drive
+//! compression ratios and posting-list lengths), realistic document-length
+//! spread (which exercises BM25's length normalization), query-term
+//! selectivity (which drives merge-join cost), and a relevance signal that
+//! ranking can find (which separates the p@20 of BM25 from boolean
+//! retrieval).
+//!
+//! [`SyntheticCollection::generate`] produces exactly that, deterministically
+//! from a seed:
+//!
+//! * a Zipf-distributed vocabulary ([`zipf::ZipfSampler`]);
+//! * documents with power-law-ish lengths whose term usage follows the
+//!   global distribution;
+//! * an *efficiency* query log plus a judged *evaluation* subset, with
+//!   query lengths matching the paper's 2.3-term average;
+//! * **generative relevance**: each evaluation query plants its relevant
+//!   documents by boosting the query terms' within-document frequencies, so
+//!   BM25 genuinely ranks relevant documents higher while boolean retrieval
+//!   (which ignores tf) cannot — reproducing the p@20 gap of Table 2.
+//!
+//! Everything downstream (index building, Table 2, Table 3) consumes this
+//! collection through the plain data types here; swapping in a real corpus
+//! would only require constructing the same types from parsed text.
+
+pub mod collection;
+pub mod eval;
+pub mod query;
+pub mod zipf;
+
+pub use collection::{CollectionConfig, Document, SyntheticCollection};
+pub use eval::{precision_at_k, EvalQuery};
+pub use query::QueryLogConfig;
+pub use zipf::ZipfSampler;

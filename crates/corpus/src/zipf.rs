@@ -1,0 +1,148 @@
+//! Zipf-distributed sampling over a finite vocabulary.
+//!
+//! Term frequencies in natural-language corpora famously follow Zipf's law:
+//! the `r`-th most frequent term has probability proportional to `1/r^s`.
+//! This is the single property that makes inverted indexes compressible
+//! (frequent terms → long posting lists → tiny docid gaps → few PFOR-DELTA
+//! exceptions), so the generator must get it right for the compression
+//! numbers of §3.3 to be meaningful.
+//!
+//! The sampler precomputes the cumulative distribution once and draws by
+//! binary search — O(log V) per sample, exact, and deterministic under a
+//! seeded RNG.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability `P(r) ∝ 1/(r+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "vocabulary must be non-empty");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over an empty domain (never true; see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability of rank `r`.
+    pub fn probability(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let total: f64 = (0..1000).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn rank_zero_is_most_probable() {
+        let z = ZipfSampler::new(100, 1.0);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(50));
+    }
+
+    #[test]
+    fn zipf_ratio_matches_law() {
+        let z = ZipfSampler::new(10_000, 1.0);
+        // P(0)/P(9) should be ~10 for s=1.
+        let ratio = z.probability(0) / z.probability(9);
+        assert!((ratio - 10.0).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let z = ZipfSampler::new(500, 1.1);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let sa: Vec<usize> = (0..100).map(|_| z.sample(&mut a)).collect();
+        let sb: Vec<usize> = (0..100).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn empirical_distribution_tracks_theory() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 5, 20] {
+            let expected = z.probability(r) * n as f64;
+            let got = counts[r] as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.1 + 30.0,
+                "rank {r}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(10, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_rejected() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_exponent_rejected() {
+        ZipfSampler::new(10, f64::NAN);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the synthetic workload generator: every generated
+//! collection must satisfy the structural invariants the index builder and
+//! the experiments rely on, across the whole configuration space.
+
+use proptest::prelude::*;
+use x100_corpus::{precision_at_k, CollectionConfig, QueryLogConfig, SyntheticCollection};
+
+fn small_config() -> impl Strategy<Value = CollectionConfig> {
+    (
+        10usize..200,   // num_docs
+        20usize..300,   // vocab_size
+        8usize..80,     // avg_doc_len
+        1usize..6,      // num_eval_queries
+        1usize..8,      // relevant_per_query
+        any::<u64>(),   // seed
+        0.0f64..0.4,    // tail_prob
+    )
+        .prop_map(
+            |(num_docs, vocab_size, avg_doc_len, evals, relevant, seed, tail_prob)| {
+                CollectionConfig {
+                    num_docs,
+                    vocab_size,
+                    avg_doc_len,
+                    zipf_exponent: 1.0,
+                    num_eval_queries: evals,
+                    relevant_per_query: relevant,
+                    boost_tf: (2, 6),
+                    query_log: QueryLogConfig {
+                        tail_prob,
+                        ..QueryLogConfig::tiny()
+                    },
+                    num_efficiency_queries: 10,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collections_satisfy_structural_invariants(cfg in small_config()) {
+        let c = SyntheticCollection::generate(&cfg);
+        prop_assert_eq!(c.docs.len(), cfg.num_docs);
+        prop_assert_eq!(c.vocab.len(), cfg.vocab_size);
+        prop_assert_eq!(c.efficiency_log.len(), cfg.num_efficiency_queries);
+        prop_assert_eq!(c.eval_queries.len(), cfg.num_eval_queries);
+
+        for (i, d) in c.docs.iter().enumerate() {
+            prop_assert_eq!(d.id as usize, i);
+            prop_assert!(!d.terms.is_empty());
+            prop_assert!(d.terms.windows(2).all(|w| w[0].0 < w[1].0));
+            prop_assert!(d.terms.iter().all(|&(t, tf)| (t as usize) < cfg.vocab_size && tf >= 1));
+            prop_assert_eq!(d.len, d.terms.iter().map(|&(_, tf)| tf).sum::<u32>());
+        }
+        for q in &c.eval_queries {
+            prop_assert!(!q.terms.is_empty());
+            prop_assert!(q.relevant.len() <= cfg.relevant_per_query.min(cfg.num_docs));
+            prop_assert!(q.relevant.iter().all(|&d| (d as usize) < cfg.num_docs));
+            // Planted docs really contain the query terms.
+            for &d in &q.relevant {
+                let doc = &c.docs[d as usize];
+                for &t in &q.terms {
+                    prop_assert!(
+                        doc.terms.binary_search_by_key(&t, |&(t2, _)| t2).is_ok(),
+                        "doc {} must contain planted term {}", d, t
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_config(cfg in small_config()) {
+        let a = SyntheticCollection::generate(&cfg);
+        let b = SyntheticCollection::generate(&cfg);
+        prop_assert_eq!(a.docs, b.docs);
+        prop_assert_eq!(a.efficiency_log, b.efficiency_log);
+    }
+
+    #[test]
+    fn precision_is_bounded_and_monotone_in_hits(
+        ranked in prop::collection::vec(0u32..100, 0..50),
+        relevant in prop::collection::hash_set(0u32..100, 0..30),
+        k in 1usize..30,
+    ) {
+        let p = precision_at_k(&ranked, &relevant, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Appending a relevant doc beyond position k never changes p@k.
+        let mut extended = ranked.clone();
+        extended.extend(relevant.iter().copied());
+        let p2 = precision_at_k(&extended[..ranked.len().min(k)], &relevant, k);
+        prop_assert_eq!(p, p2);
+    }
+}

@@ -1,0 +1,323 @@
+//! Discrete-event scheduling of broadcast queries over servers and streams.
+//!
+//! Reproduces the *timing* side of Table 3. Inputs are per-query,
+//! per-partition compute times (measured for real by
+//! [`crate::cluster::SimulatedCluster::measure_compute`]); this module
+//! models everything the paper's LAN contributed:
+//!
+//! * each query is broadcast to all servers; a server's work for a query is
+//!   the sum of its assigned partitions' compute times (fixed partition
+//!   count, variable server count — the paper's "using less servers" rows);
+//! * each request incurs a dispatch overhead with log-normal jitter (RPC,
+//!   NIC, OS scheduling). The *maximum* of N jittered responses gates query
+//!   latency, which is exactly the load-imbalance effect the paper blames
+//!   for its sub-linear latency speedup ("the slowest one ... takes twice
+//!   as long as the fastest");
+//! * `num_streams` concurrent clients each submit their next query when
+//!   their previous one completes; servers process requests FIFO. More
+//!   streams keep servers busy, so *throughput* scales even as per-query
+//!   latency degrades — the lower half of Table 3.
+//!
+//! Time is integer nanoseconds; the jitter RNG is seeded; the whole
+//! simulation is deterministic.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Log-normal dispatch-overhead model: `base · exp(σ·Z)`, `Z ~ N(0,1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterModel {
+    /// Median per-request dispatch overhead.
+    pub base: Duration,
+    /// Log-normal shape (0 = constant overhead).
+    pub sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for JitterModel {
+    fn default() -> Self {
+        // ~4 ms median RPC+scheduling overhead on a 2006 LAN, with enough
+        // spread that max-of-8 is ~2x the min, matching Table 3's imbalance.
+        JitterModel {
+            base: Duration::from_micros(4000),
+            sigma: 0.35,
+            seed: 0xD157,
+        }
+    }
+}
+
+impl JitterModel {
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        // Box-Muller; rand's small core has no normal distribution and the
+        // allowed-crates list excludes rand_distr.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let factor = (self.sigma * z).exp();
+        (self.base.as_nanos() as f64 * factor) as u64
+    }
+}
+
+/// One Table 3 run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Number of physical servers; the (fixed) partitions are assigned
+    /// round-robin.
+    pub num_servers: usize,
+    /// Concurrent query streams.
+    pub num_streams: usize,
+    /// Cost of merging per-node top-Ns at the coordinator.
+    pub merge_overhead: Duration,
+    /// Dispatch jitter model.
+    pub jitter: JitterModel,
+}
+
+impl RunConfig {
+    /// `servers` servers, one stream, default overheads.
+    pub fn servers(servers: usize) -> Self {
+        RunConfig {
+            num_servers: servers,
+            num_streams: 1,
+            merge_overhead: Duration::from_micros(150),
+            jitter: JitterModel::default(),
+        }
+    }
+
+    /// `servers` servers and `streams` concurrent streams.
+    pub fn streams(servers: usize, streams: usize) -> Self {
+        RunConfig {
+            num_streams: streams,
+            ..Self::servers(servers)
+        }
+    }
+}
+
+/// Aggregated timing results of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Queries simulated.
+    pub queries: usize,
+    /// Mean per-query latency (submission → merged result).
+    pub avg_latency: Duration,
+    /// Makespan divided by query count — the paper's "amortized" column.
+    pub amortized: Duration,
+    /// Mean over queries of the *fastest* server's response time.
+    pub server_min: Duration,
+    /// Mean over queries of the mean server response time.
+    pub server_avg: Duration,
+    /// Mean over queries of the *slowest* server's response time (this is
+    /// what gates latency).
+    pub server_max: Duration,
+    /// Total simulated wall-clock of the run.
+    pub makespan: Duration,
+    /// Queries per second.
+    pub throughput_qps: f64,
+}
+
+/// Replays `compute[query][partition]` through the scheduling model.
+///
+/// # Panics
+/// Panics if `compute` is empty, any row's width differs, or the config has
+/// zero servers/streams.
+pub fn simulate_run(compute: &[Vec<Duration>], cfg: &RunConfig) -> RunStats {
+    assert!(!compute.is_empty(), "no queries to simulate");
+    assert!(cfg.num_servers > 0 && cfg.num_streams > 0, "degenerate config");
+    let num_partitions = compute[0].len();
+    assert!(
+        compute.iter().all(|r| r.len() == num_partitions),
+        "ragged compute matrix"
+    );
+    assert!(
+        cfg.num_servers <= num_partitions,
+        "more servers than partitions has idle servers; assign fewer"
+    );
+
+    let mut rng = StdRng::seed_from_u64(cfg.jitter.seed);
+    // Per-server work per query: sum of its round-robin partitions.
+    let work_of = |q: usize, s: usize| -> u64 {
+        (s..num_partitions)
+            .step_by(cfg.num_servers)
+            .map(|p| compute[q][p].as_nanos() as u64)
+            .sum()
+    };
+
+    let merge = cfg.merge_overhead.as_nanos() as u64;
+    let mut server_free = vec![0u64; cfg.num_servers];
+    // Stream state: (next submission time, next index into its query list).
+    // Query q belongs to stream q % num_streams; streams process their
+    // queries in order.
+    let mut stream_clock = vec![0u64; cfg.num_streams];
+    let mut stream_next = vec![0usize; cfg.num_streams];
+
+    let mut latencies: Vec<u64> = vec![0; compute.len()];
+    let mut resp_min = 0u64;
+    let mut resp_avg = 0u64;
+    let mut resp_max = 0u64;
+    let mut makespan = 0u64;
+
+    // Process submissions in global time order across streams.
+    let mut remaining = compute.len();
+    while remaining > 0 {
+        // Earliest-submitting stream that still has queries.
+        let (&t_submit, stream) = stream_clock
+            .iter()
+            .zip(0..)
+            .filter(|&(_, s)| {
+                let q = stream_next[s] * cfg.num_streams + s;
+                q < compute.len()
+            })
+            .min_by_key(|&(&t, s)| (t, s))
+            .expect("remaining > 0 implies an active stream");
+        let q = stream_next[stream] * cfg.num_streams + stream;
+        stream_next[stream] += 1;
+        remaining -= 1;
+
+        let mut q_min = u64::MAX;
+        let mut q_sum = 0u64;
+        let mut q_max = 0u64;
+        #[allow(clippy::needless_range_loop)] // `s` also feeds work_of(q, s)
+        for s in 0..cfg.num_servers {
+            // The server is *occupied* only while computing; network transit
+            // (the jittered dispatch overhead) delays the response without
+            // holding the server. This is what lets throughput keep scaling
+            // under concurrent streams while latency degrades — the paper's
+            // own observation that "load imbalance affects latency but not
+            // throughput".
+            let start = t_submit.max(server_free[s]);
+            let work_done = start + work_of(q, s);
+            server_free[s] = work_done;
+            let resp = work_done + cfg.jitter.sample(&mut rng) - t_submit;
+            q_min = q_min.min(resp);
+            q_sum += resp;
+            q_max = q_max.max(resp);
+        }
+        let done = t_submit + q_max + merge;
+        latencies[q] = done - t_submit;
+        resp_min += q_min;
+        resp_avg += q_sum / cfg.num_servers as u64;
+        resp_max += q_max;
+        makespan = makespan.max(done);
+        stream_clock[stream] = done;
+    }
+
+    let n = compute.len() as u64;
+    let ns = |v: u64| Duration::from_nanos(v);
+    RunStats {
+        queries: compute.len(),
+        avg_latency: ns(latencies.iter().sum::<u64>() / n),
+        amortized: ns(makespan / n),
+        server_min: ns(resp_min / n),
+        server_avg: ns(resp_avg / n),
+        server_max: ns(resp_max / n),
+        makespan: ns(makespan),
+        throughput_qps: compute.len() as f64 / (makespan as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uniform 1 ms of compute per partition per query.
+    fn uniform(queries: usize, partitions: usize, ms: u64) -> Vec<Vec<Duration>> {
+        vec![vec![Duration::from_millis(ms); partitions]; queries]
+    }
+
+    fn no_jitter() -> JitterModel {
+        JitterModel {
+            base: Duration::from_millis(2),
+            sigma: 0.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let compute = uniform(100, 8, 1);
+        let cfg = RunConfig::streams(8, 4);
+        assert_eq!(simulate_run(&compute, &cfg), simulate_run(&compute, &cfg));
+    }
+
+    #[test]
+    fn fewer_servers_more_work_each() {
+        let compute = uniform(200, 8, 1);
+        let mut cfg = RunConfig::servers(8);
+        cfg.jitter = no_jitter();
+        let eight = simulate_run(&compute, &cfg);
+        cfg.num_servers = 1;
+        let one = simulate_run(&compute, &cfg);
+        // One server does 8 ms of work per query (plus one 2 ms dispatch);
+        // eight servers do 1 ms each (plus dispatch) in parallel.
+        assert_eq!(eight.avg_latency.as_millis(), 3); // 2 + 1 + merge(<1)
+        assert_eq!(one.avg_latency.as_millis(), 10); // 2 + 8 + merge
+    }
+
+    #[test]
+    fn jitter_spreads_min_max_with_more_servers() {
+        let compute = uniform(500, 8, 1);
+        let cfg8 = RunConfig::servers(8);
+        let cfg2 = RunConfig::servers(2);
+        let r8 = simulate_run(&compute, &cfg8);
+        let r2 = simulate_run(&compute, &cfg2);
+        let spread8 = r8.server_max.as_nanos() as f64 / r8.server_min.as_nanos() as f64;
+        let spread2 = r2.server_max.as_nanos() as f64 / r2.server_min.as_nanos() as f64;
+        assert!(
+            spread8 > spread2,
+            "max/min spread must grow with server count: {spread8} vs {spread2}"
+        );
+        // The paper observes ~2x between slowest and fastest of 8.
+        assert!(spread8 > 1.4, "{spread8}");
+    }
+
+    #[test]
+    fn latency_gated_by_slowest_server() {
+        // Partition 3 is 5x slower.
+        let mut compute = uniform(100, 4, 1);
+        for row in &mut compute {
+            row[3] = Duration::from_millis(5);
+        }
+        let mut cfg = RunConfig::servers(4);
+        cfg.jitter = no_jitter();
+        let r = simulate_run(&compute, &cfg);
+        assert!(r.avg_latency >= Duration::from_millis(7)); // 2 + 5
+        assert!(r.server_max >= Duration::from_millis(7));
+        assert!(r.server_min <= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn streams_improve_throughput_but_hurt_latency() {
+        let compute = uniform(400, 8, 1);
+        let one = simulate_run(&compute, &RunConfig::streams(8, 1));
+        let four = simulate_run(&compute, &RunConfig::streams(8, 4));
+        let eight = simulate_run(&compute, &RunConfig::streams(8, 8));
+        assert!(four.throughput_qps > one.throughput_qps * 1.5);
+        assert!(eight.amortized < one.amortized);
+        assert!(eight.avg_latency > one.avg_latency);
+        // Amortized time is monotone in streams (Table 3's right trend).
+        assert!(four.amortized < one.amortized);
+        assert!(eight.amortized <= four.amortized);
+    }
+
+    #[test]
+    fn amortized_equals_makespan_over_queries() {
+        let compute = uniform(37, 4, 2);
+        let r = simulate_run(&compute, &RunConfig::streams(4, 2));
+        assert_eq!(r.amortized, r.makespan / 37);
+        assert!((r.throughput_qps - 37.0 / r.makespan.as_secs_f64()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "more servers than partitions")]
+    fn too_many_servers_rejected() {
+        simulate_run(&uniform(1, 2, 1), &RunConfig::servers(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no queries")]
+    fn empty_compute_rejected() {
+        simulate_run(&[], &RunConfig::servers(1));
+    }
+}

@@ -1,0 +1,270 @@
+//! Grouped aggregation (Figure 1's `Aggregate` node).
+//!
+//! A hash aggregate over one i32 grouping key, supporting the aggregate
+//! functions the paper's example plan and the IR workload use: `SUM` over
+//! float and integer columns and `COUNT(*)`. The operator is a pipeline
+//! breaker: it drains its input on the first `next()`, then streams the
+//! grouped results out in key order (sorted for determinism), one vector at
+//! a time.
+
+use std::collections::HashMap;
+
+use x100_vector::{Batch, ValueType, Vector, VectorData};
+
+use crate::{ExecError, Operator};
+
+/// An aggregate function over an input column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of an f32 column (accumulated in f64, emitted as f64).
+    SumF32(usize),
+    /// Sum of an i32 column (accumulated and emitted as i64).
+    SumI32(usize),
+    /// Row count.
+    CountStar,
+}
+
+impl AggFunc {
+    fn output_type(self) -> ValueType {
+        match self {
+            AggFunc::SumF32(_) => ValueType::F64,
+            AggFunc::SumI32(_) | AggFunc::CountStar => ValueType::I64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Acc {
+    F(f64),
+    I(i64),
+}
+
+/// Hash-grouped aggregation over one i32 key column.
+pub struct HashAggregate<'a> {
+    input: Box<dyn Operator + 'a>,
+    key_col: usize,
+    funcs: Vec<AggFunc>,
+    schema: Vec<ValueType>,
+    vector_size: usize,
+    /// Drained results, sorted by key; `None` until the input is consumed.
+    results: Option<Vec<(i32, Vec<Acc>)>>,
+    cursor: usize,
+}
+
+impl<'a> HashAggregate<'a> {
+    /// Creates an aggregation of `funcs` over `input`, grouped by
+    /// `key_col`. Output schema: the key, then one column per function.
+    pub fn new(
+        input: Box<dyn Operator + 'a>,
+        key_col: usize,
+        funcs: Vec<AggFunc>,
+        vector_size: usize,
+    ) -> Result<Self, ExecError> {
+        if key_col >= input.schema().len() {
+            return Err(ExecError::Plan("aggregate key column out of range".into()));
+        }
+        let mut schema = vec![ValueType::I32];
+        schema.extend(funcs.iter().map(|f| f.output_type()));
+        Ok(HashAggregate {
+            input,
+            key_col,
+            funcs,
+            schema,
+            vector_size,
+            results: None,
+            cursor: 0,
+        })
+    }
+
+    fn drain_input(&mut self) -> Result<(), ExecError> {
+        let mut groups: HashMap<i32, Vec<Acc>> = HashMap::new();
+        let zero: Vec<Acc> = self
+            .funcs
+            .iter()
+            .map(|f| match f {
+                AggFunc::SumF32(_) => Acc::F(0.0),
+                AggFunc::SumI32(_) | AggFunc::CountStar => Acc::I(0),
+            })
+            .collect();
+        while let Some(mut batch) = self.input.next()? {
+            batch.compact();
+            if batch.is_empty() {
+                continue;
+            }
+            let keys = batch.column(self.key_col).as_i32().to_vec();
+            for (fi, func) in self.funcs.iter().enumerate() {
+                match func {
+                    AggFunc::SumF32(col) => {
+                        let vals = batch.column(*col).as_f32();
+                        for (k, &v) in keys.iter().zip(vals) {
+                            let accs = groups.entry(*k).or_insert_with(|| zero.clone());
+                            if let Acc::F(a) = &mut accs[fi] {
+                                *a += f64::from(v);
+                            }
+                        }
+                    }
+                    AggFunc::SumI32(col) => {
+                        let vals = batch.column(*col).as_i32();
+                        for (k, &v) in keys.iter().zip(vals) {
+                            let accs = groups.entry(*k).or_insert_with(|| zero.clone());
+                            if let Acc::I(a) = &mut accs[fi] {
+                                *a += i64::from(v);
+                            }
+                        }
+                    }
+                    AggFunc::CountStar => {
+                        for k in &keys {
+                            let accs = groups.entry(*k).or_insert_with(|| zero.clone());
+                            if let Acc::I(a) = &mut accs[fi] {
+                                *a += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut results: Vec<(i32, Vec<Acc>)> = groups.into_iter().collect();
+        results.sort_unstable_by_key(|&(k, _)| k);
+        self.results = Some(results);
+        self.cursor = 0;
+        Ok(())
+    }
+}
+
+impl Operator for HashAggregate<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.results = None;
+        self.cursor = 0;
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>, ExecError> {
+        if self.results.is_none() {
+            self.drain_input()?;
+        }
+        let results = self.results.as_ref().expect("drained");
+        if self.cursor >= results.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.vector_size).min(results.len());
+        let slice = &results[self.cursor..end];
+        self.cursor = end;
+
+        let mut keys = Vec::with_capacity(slice.len());
+        let mut agg_cols: Vec<VectorData> = self
+            .funcs
+            .iter()
+            .map(|f| match f.output_type() {
+                ValueType::F64 => VectorData::F64(Vec::with_capacity(slice.len())),
+                _ => VectorData::I64(Vec::with_capacity(slice.len())),
+            })
+            .collect();
+        for (k, accs) in slice {
+            keys.push(*k);
+            for (fi, acc) in accs.iter().enumerate() {
+                match (acc, &mut agg_cols[fi]) {
+                    (Acc::F(v), VectorData::F64(col)) => col.push(*v),
+                    (Acc::I(v), VectorData::I64(col)) => col.push(*v),
+                    _ => unreachable!("accumulator/type mismatch"),
+                }
+            }
+        }
+        let mut columns = vec![Vector::from_data(VectorData::I32(keys))];
+        columns.extend(agg_cols.into_iter().map(Vector::from_data));
+        Ok(Some(Batch::new(columns)))
+    }
+
+    fn close(&mut self) {
+        self.results = None;
+        self.input.close();
+    }
+
+    fn schema(&self) -> &[ValueType] {
+        &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect_batches;
+    use crate::mem::MemSource;
+
+    fn src(keys: &[i32], vals_f: &[f32]) -> Box<dyn Operator> {
+        Box::new(MemSource::from_batch(Batch::new(vec![
+            Vector::from_i32(keys),
+            Vector::from_f32(vals_f),
+        ])))
+    }
+
+    #[test]
+    fn groups_and_sums() {
+        let agg = HashAggregate::new(
+            src(&[1, 2, 1, 2, 1], &[1.0, 10.0, 2.0, 20.0, 3.0]),
+            0,
+            vec![AggFunc::SumF32(1), AggFunc::CountStar],
+            1024,
+        )
+        .unwrap();
+        let batches = collect_batches(agg).unwrap();
+        assert_eq!(batches.len(), 1);
+        let b = &batches[0];
+        assert_eq!(b.column(0).as_i32(), &[1, 2]);
+        assert_eq!(b.column(1).as_f64(), &[6.0, 30.0]);
+        assert_eq!(b.column(2).as_i64(), &[3, 2]);
+    }
+
+    #[test]
+    fn sum_i32_accumulates_as_i64() {
+        let keys = vec![7i32; 3];
+        let vals = vec![i32::MAX, i32::MAX, 2];
+        let src = Box::new(MemSource::from_batch(Batch::new(vec![
+            Vector::from_i32(&keys),
+            Vector::from_i32(&vals),
+        ])));
+        let agg = HashAggregate::new(src, 0, vec![AggFunc::SumI32(1)], 16).unwrap();
+        let batches = collect_batches(agg).unwrap();
+        assert_eq!(
+            batches[0].column(1).as_i64(),
+            &[i64::from(i32::MAX) * 2 + 2]
+        );
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let agg = HashAggregate::new(src(&[], &[]), 0, vec![AggFunc::CountStar], 16).unwrap();
+        assert!(collect_batches(agg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn results_stream_in_vector_sized_chunks() {
+        let keys: Vec<i32> = (0..100).collect();
+        let vals = vec![1.0f32; 100];
+        let mut agg =
+            HashAggregate::new(src(&keys, &vals), 0, vec![AggFunc::SumF32(1)], 32).unwrap();
+        agg.open().unwrap();
+        let first = agg.next().unwrap().unwrap();
+        assert_eq!(first.num_rows(), 32);
+        agg.close();
+    }
+
+    #[test]
+    fn selection_respected() {
+        use crate::expr::Predicate;
+        use crate::select::Select;
+        // Filter vals >= 10 before aggregating.
+        let filtered = Box::new(Select::new(
+            src(&[1, 1, 2], &[1.0, 10.0, 20.0]),
+            Predicate::ge_f32(1, 10.0),
+        ));
+        let agg = HashAggregate::new(filtered, 0, vec![AggFunc::SumF32(1)], 16).unwrap();
+        let batches = collect_batches(agg).unwrap();
+        assert_eq!(batches[0].column(0).as_i32(), &[1, 2]);
+        assert_eq!(batches[0].column(1).as_f64(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn bad_key_column_rejected() {
+        assert!(HashAggregate::new(src(&[], &[]), 9, vec![], 16).is_err());
+    }
+}

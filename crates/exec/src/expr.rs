@@ -1,0 +1,518 @@
+//! Expression trees evaluated one vector at a time.
+//!
+//! An [`Expr`] is the plan-side description of a computation; evaluating it
+//! against a [`Batch`] dispatches to the vectorized primitives of
+//! [`crate::primitives`] node by node. The per-node dispatch cost (a `match`
+//! and a recursive call) is paid once per *vector*, not per value — exactly
+//! the amortization argument of §2.
+//!
+//! The expression language is deliberately small: arithmetic, natural log,
+//! max, an i32→f32 cast, and a positional *gather* through a shared lookup
+//! array. The gather is how we express the paper's join with the dense
+//! docid-indexed document table `D` (fetching `doclen[docid]` inside the
+//! BM25 formula) without a general hash join on the hot path.
+
+use std::sync::Arc;
+
+use x100_vector::{Batch, ValueType, Vector, VectorData};
+
+use crate::primitives as prim;
+use crate::ExecError;
+
+/// A typed, vectorized scalar expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Read an `i32` input column.
+    ColI32(usize),
+    /// Read an `f32` input column.
+    ColF32(usize),
+    /// An `i32` constant.
+    ConstI32(i32),
+    /// An `f32` constant.
+    ConstF32(f32),
+    /// Element-wise addition (both sides same numeric type).
+    Add(Box<Expr>, Box<Expr>),
+    /// Element-wise subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Element-wise multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Element-wise division (f32 only).
+    Div(Box<Expr>, Box<Expr>),
+    /// Element-wise maximum (i32 only) — `MAX(TD1.docid, TD2.docid)` in the
+    /// paper's outer-join query.
+    Max(Box<Expr>, Box<Expr>),
+    /// Natural logarithm (f32 only).
+    Log(Box<Expr>),
+    /// Cast i32 to f32.
+    CastF32(Box<Expr>),
+    /// Reinterpret i32 *bits* as f32 (`f32::from_bits`). Materialized score
+    /// columns are stored and merge-joined as opaque 32-bit integers; this
+    /// node recovers the float at scoring time. The all-zero bit pattern an
+    /// outer join emits for a missing side decodes to `0.0`, which is the
+    /// correct "term absent" score.
+    F32FromBits(Box<Expr>),
+    /// `values[index[i]]` with an i32 index expression — positional join
+    /// against a dense lookup table (document lengths, materialized scores).
+    GatherF32 {
+        values: Arc<Vec<f32>>,
+        index: Box<Expr>,
+    },
+    /// `values[index[i]]`, i32 payload.
+    GatherI32 {
+        values: Arc<Vec<i32>>,
+        index: Box<Expr>,
+    },
+}
+
+// The arithmetic constructors intentionally mirror the paper's primitive
+// names (`map_add_*`, ...) rather than implementing `std::ops`: an `Expr` is
+// a *plan node builder*, and `a + b` syntax would suggest eager evaluation.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    // -- ergonomic constructors ------------------------------------------
+
+    /// An i32 column reference.
+    pub fn col_i32(idx: usize) -> Expr {
+        Expr::ColI32(idx)
+    }
+
+    /// An f32 column reference.
+    pub fn col_f32(idx: usize) -> Expr {
+        Expr::ColF32(idx)
+    }
+
+    /// An i32 constant.
+    pub fn const_i32(v: i32) -> Expr {
+        Expr::ConstI32(v)
+    }
+
+    /// An f32 constant.
+    pub fn const_f32(v: f32) -> Expr {
+        Expr::ConstF32(v)
+    }
+
+    /// `a + b`
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// `max(a, b)`
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Max(Box::new(a), Box::new(b))
+    }
+
+    /// `ln(a)`
+    pub fn log(a: Expr) -> Expr {
+        Expr::Log(Box::new(a))
+    }
+
+    /// `a as f32`
+    pub fn cast_f32(a: Expr) -> Expr {
+        Expr::CastF32(Box::new(a))
+    }
+
+    /// `f32::from_bits(a as u32)`
+    pub fn f32_from_bits(a: Expr) -> Expr {
+        Expr::F32FromBits(Box::new(a))
+    }
+
+    /// `values[a]` (f32 payload).
+    pub fn gather_f32(values: Arc<Vec<f32>>, index: Expr) -> Expr {
+        Expr::GatherF32 {
+            values,
+            index: Box::new(index),
+        }
+    }
+
+    /// `values[a]` (i32 payload).
+    pub fn gather_i32(values: Arc<Vec<i32>>, index: Expr) -> Expr {
+        Expr::GatherI32 {
+            values,
+            index: Box::new(index),
+        }
+    }
+
+    /// The expression's output type given no context (types are intrinsic
+    /// to the node shapes in this small language).
+    pub fn output_type(&self) -> ValueType {
+        match self {
+            Expr::ColI32(_) | Expr::ConstI32(_) | Expr::GatherI32 { .. } => ValueType::I32,
+            Expr::ColF32(_)
+            | Expr::ConstF32(_)
+            | Expr::Div(..)
+            | Expr::Log(_)
+            | Expr::CastF32(_)
+            | Expr::F32FromBits(_)
+            | Expr::GatherF32 { .. } => ValueType::F32,
+            Expr::Add(a, _) | Expr::Sub(a, _) | Expr::Mul(a, _) => a.output_type(),
+            Expr::Max(..) => ValueType::I32,
+        }
+    }
+
+    /// Evaluates against a batch, producing one vector of `batch.num_rows()`
+    /// values (selection is a consumer-side concern; evaluating unselected
+    /// positions costs a little compute but keeps every loop branch-free).
+    pub fn eval(&self, batch: &Batch) -> Result<Vector, ExecError> {
+        let n = batch.num_rows();
+        match self {
+            Expr::ColI32(idx) => {
+                let col = get_col(batch, *idx)?;
+                if col.value_type() != ValueType::I32 {
+                    return Err(type_err("ColI32", col.value_type()));
+                }
+                Ok(col.clone())
+            }
+            Expr::ColF32(idx) => {
+                let col = get_col(batch, *idx)?;
+                if col.value_type() != ValueType::F32 {
+                    return Err(type_err("ColF32", col.value_type()));
+                }
+                Ok(col.clone())
+            }
+            Expr::ConstI32(v) => Ok(Vector::from_data(VectorData::I32(vec![*v; n]))),
+            Expr::ConstF32(v) => Ok(Vector::from_data(VectorData::F32(vec![*v; n]))),
+            Expr::Add(a, b) => self.eval_binary(batch, a, b, BinOp::Add),
+            Expr::Sub(a, b) => self.eval_binary(batch, a, b, BinOp::Sub),
+            Expr::Mul(a, b) => self.eval_binary(batch, a, b, BinOp::Mul),
+            Expr::Div(a, b) => self.eval_binary(batch, a, b, BinOp::Div),
+            Expr::Max(a, b) => {
+                let (va, vb) = (a.eval(batch)?, b.eval(batch)?);
+                let mut out = Vec::new();
+                prim::map_max_i32_col_i32_col(
+                    as_i32(&va)?,
+                    as_i32(&vb)?,
+                    &mut out,
+                );
+                Ok(Vector::from_data(VectorData::I32(out)))
+            }
+            Expr::Log(a) => {
+                let va = a.eval(batch)?;
+                let mut out = Vec::new();
+                prim::map_log_f32_col(as_f32(&va)?, &mut out);
+                Ok(Vector::from_data(VectorData::F32(out)))
+            }
+            Expr::CastF32(a) => {
+                let va = a.eval(batch)?;
+                let mut out = Vec::new();
+                prim::map_i32_col_to_f32(as_i32(&va)?, &mut out);
+                Ok(Vector::from_data(VectorData::F32(out)))
+            }
+            Expr::F32FromBits(a) => {
+                let va = a.eval(batch)?;
+                let bits = as_i32(&va)?;
+                let out: Vec<f32> = bits.iter().map(|&x| f32::from_bits(x as u32)).collect();
+                Ok(Vector::from_data(VectorData::F32(out)))
+            }
+            Expr::GatherF32 { values, index } => {
+                let vi = index.eval(batch)?;
+                let idx = as_i32(&vi)?;
+                let mut out = Vec::with_capacity(idx.len());
+                for &i in idx {
+                    let v = values.get(i as usize).copied().ok_or_else(|| {
+                        ExecError::Plan(format!("gather index {i} out of bounds"))
+                    })?;
+                    out.push(v);
+                }
+                Ok(Vector::from_data(VectorData::F32(out)))
+            }
+            Expr::GatherI32 { values, index } => {
+                let vi = index.eval(batch)?;
+                let idx = as_i32(&vi)?;
+                let mut out = Vec::with_capacity(idx.len());
+                for &i in idx {
+                    let v = values.get(i as usize).copied().ok_or_else(|| {
+                        ExecError::Plan(format!("gather index {i} out of bounds"))
+                    })?;
+                    out.push(v);
+                }
+                Ok(Vector::from_data(VectorData::I32(out)))
+            }
+        }
+    }
+
+    fn eval_binary(
+        &self,
+        batch: &Batch,
+        a: &Expr,
+        b: &Expr,
+        op: BinOp,
+    ) -> Result<Vector, ExecError> {
+        let (va, vb) = (a.eval(batch)?, b.eval(batch)?);
+        match (va.value_type(), vb.value_type()) {
+            (ValueType::F32, ValueType::F32) => {
+                let (xa, xb) = (va.as_f32(), vb.as_f32());
+                let mut out = Vec::new();
+                match op {
+                    BinOp::Add => prim::map_add_f32_col_f32_col(xa, xb, &mut out),
+                    BinOp::Sub => {
+                        out.extend(xa.iter().zip(xb).map(|(&x, &y)| x - y));
+                    }
+                    BinOp::Mul => prim::map_mul_f32_col_f32_col(xa, xb, &mut out),
+                    BinOp::Div => prim::map_div_f32_col_f32_col(xa, xb, &mut out),
+                }
+                Ok(Vector::from_data(VectorData::F32(out)))
+            }
+            (ValueType::I32, ValueType::I32) => {
+                let (xa, xb) = (va.as_i32(), vb.as_i32());
+                let mut out = Vec::new();
+                match op {
+                    BinOp::Add => prim::map_add_i32_col_i32_col(xa, xb, &mut out),
+                    BinOp::Sub => {
+                        out.extend(xa.iter().zip(xb).map(|(&x, &y)| x.wrapping_sub(y)));
+                    }
+                    BinOp::Mul => {
+                        out.extend(xa.iter().zip(xb).map(|(&x, &y)| x.wrapping_mul(y)));
+                    }
+                    BinOp::Div => {
+                        return Err(ExecError::Plan(
+                            "integer division not supported; cast to f32".into(),
+                        ))
+                    }
+                }
+                Ok(Vector::from_data(VectorData::I32(out)))
+            }
+            (ta, tb) => Err(ExecError::Plan(format!(
+                "binary op over mismatched types {ta} and {tb}; insert CastF32"
+            ))),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+fn get_col(batch: &Batch, idx: usize) -> Result<&Vector, ExecError> {
+    if idx >= batch.num_columns() {
+        return Err(ExecError::Plan(format!(
+            "column {idx} out of range ({} columns)",
+            batch.num_columns()
+        )));
+    }
+    Ok(batch.column(idx))
+}
+
+fn as_i32(v: &Vector) -> Result<&[i32], ExecError> {
+    if v.value_type() != ValueType::I32 {
+        return Err(type_err("i32 operand", v.value_type()));
+    }
+    Ok(v.as_i32())
+}
+
+fn as_f32(v: &Vector) -> Result<&[f32], ExecError> {
+    if v.value_type() != ValueType::F32 {
+        return Err(type_err("f32 operand", v.value_type()));
+    }
+    Ok(v.as_f32())
+}
+
+fn type_err(expected: &str, got: ValueType) -> ExecError {
+    ExecError::Plan(format!("expected {expected}, got {got}"))
+}
+
+/// A filter predicate compiled to a selection primitive.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// `col >= v`
+    GeI32 { col: usize, v: i32 },
+    /// `col < v`
+    LtI32 { col: usize, v: i32 },
+    /// `col == v`
+    EqI32 { col: usize, v: i32 },
+    /// `col >= v` over f32.
+    GeF32 { col: usize, v: f32 },
+}
+
+impl Predicate {
+    /// `col >= v`
+    pub fn ge_i32(col: usize, v: i32) -> Self {
+        Predicate::GeI32 { col, v }
+    }
+
+    /// `col < v`
+    pub fn lt_i32(col: usize, v: i32) -> Self {
+        Predicate::LtI32 { col, v }
+    }
+
+    /// `col == v`
+    pub fn eq_i32(col: usize, v: i32) -> Self {
+        Predicate::EqI32 { col, v }
+    }
+
+    /// `col >= v` (f32)
+    pub fn ge_f32(col: usize, v: f32) -> Self {
+        Predicate::GeF32 { col, v }
+    }
+
+    /// Evaluates into a selection vector over the batch's physical rows.
+    pub fn eval(
+        &self,
+        batch: &Batch,
+        sel: &mut x100_vector::SelectionVector,
+    ) -> Result<(), ExecError> {
+        match self {
+            Predicate::GeI32 { col, v } => {
+                prim::select_ge_i32_col_i32_val(as_i32(get_col(batch, *col)?)?, *v, sel)
+            }
+            Predicate::LtI32 { col, v } => {
+                prim::select_lt_i32_col_i32_val(as_i32(get_col(batch, *col)?)?, *v, sel)
+            }
+            Predicate::EqI32 { col, v } => {
+                prim::select_eq_i32_col_i32_val(as_i32(get_col(batch, *col)?)?, *v, sel)
+            }
+            Predicate::GeF32 { col, v } => {
+                prim::select_ge_f32_col_f32_val(as_f32(get_col(batch, *col)?)?, *v, sel)
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x100_vector::Vector;
+
+    fn batch() -> Batch {
+        Batch::new(vec![
+            Vector::from_i32(&[1, 2, 3]),
+            Vector::from_f32(&[10.0, 20.0, 30.0]),
+        ])
+    }
+
+    #[test]
+    fn column_refs_and_consts() {
+        let b = batch();
+        assert_eq!(Expr::col_i32(0).eval(&b).unwrap().as_i32(), &[1, 2, 3]);
+        assert_eq!(
+            Expr::const_f32(2.5).eval(&b).unwrap().as_f32(),
+            &[2.5, 2.5, 2.5]
+        );
+    }
+
+    #[test]
+    fn arithmetic_i32() {
+        let b = batch();
+        let e = Expr::add(Expr::col_i32(0), Expr::const_i32(10));
+        assert_eq!(e.eval(&b).unwrap().as_i32(), &[11, 12, 13]);
+        let e = Expr::mul(Expr::col_i32(0), Expr::col_i32(0));
+        assert_eq!(e.eval(&b).unwrap().as_i32(), &[1, 4, 9]);
+        let e = Expr::sub(Expr::col_i32(0), Expr::const_i32(1));
+        assert_eq!(e.eval(&b).unwrap().as_i32(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn arithmetic_f32_and_log() {
+        let b = batch();
+        let e = Expr::div(Expr::col_f32(1), Expr::const_f32(10.0));
+        assert_eq!(e.eval(&b).unwrap().as_f32(), &[1.0, 2.0, 3.0]);
+        let e = Expr::log(Expr::const_f32(1.0));
+        assert_eq!(e.eval(&b).unwrap().as_f32(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cast_bridges_types() {
+        let b = batch();
+        let e = Expr::mul(Expr::cast_f32(Expr::col_i32(0)), Expr::col_f32(1));
+        assert_eq!(e.eval(&b).unwrap().as_f32(), &[10.0, 40.0, 90.0]);
+    }
+
+    #[test]
+    fn mismatched_types_need_cast() {
+        let b = batch();
+        let e = Expr::add(Expr::col_i32(0), Expr::col_f32(1));
+        assert!(matches!(e.eval(&b), Err(ExecError::Plan(_))));
+    }
+
+    #[test]
+    fn integer_division_rejected() {
+        let b = batch();
+        let e = Expr::div(Expr::col_i32(0), Expr::const_i32(2));
+        assert!(matches!(e.eval(&b), Err(ExecError::Plan(_))));
+    }
+
+    #[test]
+    fn f32_from_bits_roundtrips() {
+        let bits: Vec<i32> = [1.5f32, 0.0, -2.25]
+            .iter()
+            .map(|v| v.to_bits() as i32)
+            .collect();
+        let b = Batch::new(vec![Vector::from_i32(&bits)]);
+        let e = Expr::f32_from_bits(Expr::col_i32(0));
+        assert_eq!(e.eval(&b).unwrap().as_f32(), &[1.5, 0.0, -2.25]);
+    }
+
+    #[test]
+    fn max_picks_larger() {
+        let b = batch();
+        let e = Expr::max(Expr::col_i32(0), Expr::const_i32(2));
+        assert_eq!(e.eval(&b).unwrap().as_i32(), &[2, 2, 3]);
+    }
+
+    #[test]
+    fn gather_looks_up_dense_table() {
+        let b = batch();
+        let lens = Arc::new(vec![100.0f32, 200.0, 300.0, 400.0]);
+        let e = Expr::gather_f32(lens, Expr::col_i32(0));
+        assert_eq!(e.eval(&b).unwrap().as_f32(), &[200.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn gather_out_of_bounds_is_plan_error() {
+        let b = batch();
+        let e = Expr::gather_i32(Arc::new(vec![1]), Expr::col_i32(0));
+        assert!(matches!(e.eval(&b), Err(ExecError::Plan(_))));
+    }
+
+    #[test]
+    fn bad_column_index_is_plan_error() {
+        let b = batch();
+        assert!(matches!(
+            Expr::col_i32(9).eval(&b),
+            Err(ExecError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn output_types() {
+        assert_eq!(Expr::col_i32(0).output_type(), ValueType::I32);
+        assert_eq!(
+            Expr::add(Expr::col_f32(0), Expr::col_f32(1)).output_type(),
+            ValueType::F32
+        );
+        assert_eq!(Expr::cast_f32(Expr::col_i32(0)).output_type(), ValueType::F32);
+    }
+
+    #[test]
+    fn predicates_build_selections() {
+        let b = batch();
+        let mut sel = x100_vector::SelectionVector::default();
+        Predicate::ge_i32(0, 2).eval(&b, &mut sel).unwrap();
+        assert_eq!(sel.positions(), &[1, 2]);
+        Predicate::lt_i32(0, 2).eval(&b, &mut sel).unwrap();
+        assert_eq!(sel.positions(), &[0]);
+        Predicate::eq_i32(0, 3).eval(&b, &mut sel).unwrap();
+        assert_eq!(sel.positions(), &[2]);
+        Predicate::ge_f32(1, 15.0).eval(&b, &mut sel).unwrap();
+        assert_eq!(sel.positions(), &[1, 2]);
+    }
+}

@@ -1,0 +1,173 @@
+//! The X100 vectorized in-cache execution engine (§2, Figure 1).
+//!
+//! Operators follow the traditional Volcano `open()/next()/close()`
+//! interface, but every `next()` returns a **vector of tuples** — a
+//! [`Batch`] of aligned column vectors — instead of a single tuple.
+//! "Vectorization of the iterator pipeline allows MonetDB/X100 primitives
+//! ... to be implemented as simple loops over vectors", amortizing call
+//! overhead over a full vector and letting the compiler emit data-parallel
+//! code.
+//!
+//! The operator set covers everything the paper's IR queries use (§3.2):
+//!
+//! * [`scan::TableScan`] — scan a (range of a) stored table at vector
+//!   granularity; with a range restriction this is the paper's
+//!   `ScanSelect(TD, term=t)` once the term range index resolves `t`.
+//! * [`select::Select`] — filter via selection vectors (no copying).
+//! * [`project::Project`] — compute expressions ([`expr::Expr`]) built from
+//!   vectorized primitives ([`primitives`]).
+//! * [`merge_join::MergeJoin`] / [`merge_join::MergeOuterJoin`] — combine
+//!   sorted posting lists: boolean `AND` maps to the former, `OR` to the
+//!   latter.
+//! * [`aggregate::HashAggregate`] — grouped sums/counts (Figure 1's example
+//!   query).
+//! * [`topn::TopN`] — the top-N operator IR ranking needs.
+//! * [`mem::MemSource`] — in-memory batches (test inputs, intermediate
+//!   results).
+//!
+//! # Example: a tiny pipeline
+//!
+//! ```
+//! use x100_exec::prelude::*;
+//! use x100_vector::{Batch, Vector};
+//!
+//! // SELECT x + 1 WHERE x >= 2, over x = [1,2,3,4]
+//! let input = MemSource::new(
+//!     vec![Batch::new(vec![Vector::from_i32(&[1, 2, 3, 4])])],
+//!     vec![x100_vector::ValueType::I32],
+//! );
+//! let selected = Select::new(Box::new(input), Predicate::ge_i32(0, 2));
+//! let projected = Project::new(
+//!     Box::new(selected),
+//!     vec![Expr::add(Expr::col_i32(0), Expr::const_i32(1))],
+//! );
+//! let rows = collect_i32_column(projected, 0).unwrap();
+//! assert_eq!(rows, vec![3, 4, 5]);
+//! ```
+
+pub mod aggregate;
+pub mod expr;
+pub mod mem;
+pub mod merge_join;
+pub mod primitives;
+pub mod project;
+pub mod scan;
+pub mod select;
+pub mod topn;
+
+use std::fmt;
+
+pub use x100_vector::{Batch, SelectionVector, Value, ValueType, Vector, VectorSize};
+
+/// Everything needed to assemble a pipeline.
+pub mod prelude {
+    pub use crate::aggregate::{AggFunc, HashAggregate};
+    pub use crate::expr::{Expr, Predicate};
+    pub use crate::mem::MemSource;
+    pub use crate::merge_join::{MergeJoin, MergeOuterJoin};
+    pub use crate::project::Project;
+    pub use crate::scan::TableScan;
+    pub use crate::select::Select;
+    pub use crate::topn::TopN;
+    pub use crate::{collect_batches, collect_f32_column, collect_i32_column, Operator};
+}
+
+/// Errors surfaced by query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Underlying storage failure.
+    Storage(x100_storage::StorageError),
+    /// Operator protocol misuse (e.g. `next()` before `open()`).
+    Protocol(&'static str),
+    /// Plan shape error caught at runtime (column index/type mismatch).
+    Plan(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Protocol(what) => write!(f, "operator protocol violation: {what}"),
+            ExecError::Plan(what) => write!(f, "plan error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<x100_storage::StorageError> for ExecError {
+    fn from(e: x100_storage::StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+/// The pipelined operator interface: `open()`, then `next()` until it
+/// returns `Ok(None)`, then `close()`.
+pub trait Operator {
+    /// Prepares the operator (allocates vector buffers, opens children).
+    fn open(&mut self) -> Result<(), ExecError>;
+
+    /// Produces the next vector of tuples, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Batch>, ExecError>;
+
+    /// Releases resources (closes children).
+    fn close(&mut self);
+
+    /// Output column types.
+    fn schema(&self) -> &[ValueType];
+}
+
+/// Runs a plan to completion, returning all produced batches (compacted).
+pub fn collect_batches(mut op: impl Operator) -> Result<Vec<Batch>, ExecError> {
+    op.open()?;
+    let mut batches = Vec::new();
+    while let Some(mut batch) = op.next()? {
+        batch.compact();
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
+    }
+    op.close();
+    Ok(batches)
+}
+
+/// Runs a plan and concatenates one `i32` output column.
+pub fn collect_i32_column(op: impl Operator, col: usize) -> Result<Vec<i32>, ExecError> {
+    let batches = collect_batches(op)?;
+    let mut out = Vec::new();
+    for b in &batches {
+        out.extend_from_slice(b.column(col).as_i32());
+    }
+    Ok(out)
+}
+
+/// Runs a plan and concatenates one `f32` output column.
+pub fn collect_f32_column(op: impl Operator, col: usize) -> Result<Vec<f32>, ExecError> {
+    let batches = collect_batches(op)?;
+    let mut out = Vec::new();
+    for b in &batches {
+        out.extend_from_slice(b.column(col).as_f32());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ExecError::Plan("bad column".into());
+        assert!(e.to_string().contains("bad column"));
+        let e: ExecError = x100_storage::StorageError::UnknownColumn("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ExecError::Protocol("next before open").to_string().contains("protocol"));
+    }
+}

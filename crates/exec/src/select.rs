@@ -1,0 +1,112 @@
+//! The Select operator: filtering via selection vectors.
+//!
+//! Select evaluates its predicate with a `select_*` primitive and installs
+//! the resulting [`x100_vector::SelectionVector`] on the batch — surviving
+//! tuples are *not* copied (Figure 1's `Select` node). If the input already
+//! carries a selection, the two are intersected.
+
+use x100_vector::{Batch, SelectionVector, ValueType};
+
+use crate::expr::Predicate;
+use crate::{ExecError, Operator};
+
+/// Filters batches by a predicate, producing selection vectors.
+pub struct Select<'a> {
+    input: Box<dyn Operator + 'a>,
+    predicate: Predicate,
+    scratch: SelectionVector,
+}
+
+impl<'a> Select<'a> {
+    /// Creates a Select over `input`.
+    pub fn new(input: Box<dyn Operator + 'a>, predicate: Predicate) -> Self {
+        Select {
+            input,
+            predicate,
+            scratch: SelectionVector::default(),
+        }
+    }
+}
+
+impl Operator for Select<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>, ExecError> {
+        loop {
+            let Some(mut batch) = self.input.next()? else {
+                return Ok(None);
+            };
+            self.predicate.eval(&batch, &mut self.scratch)?;
+            let mut sel = std::mem::take(&mut self.scratch);
+            if let Some(existing) = batch.selection() {
+                sel.intersect(existing);
+            }
+            let empty = sel.is_empty();
+            batch.set_selection(Some(sel));
+            if !empty {
+                return Ok(Some(batch));
+            }
+            // Fully filtered batch: keep pulling rather than emitting noise.
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+
+    fn schema(&self) -> &[ValueType] {
+        self.input.schema()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemSource;
+    use crate::{collect_batches, collect_i32_column};
+    use x100_vector::Vector;
+
+    fn src(values: &[i32]) -> Box<dyn Operator> {
+        Box::new(MemSource::from_batch(Batch::new(vec![Vector::from_i32(
+            values,
+        )])))
+    }
+
+    #[test]
+    fn filters_rows() {
+        let sel = Select::new(src(&[5, 1, 9, 3]), Predicate::ge_i32(0, 4));
+        assert_eq!(collect_i32_column(sel, 0).unwrap(), vec![5, 9]);
+    }
+
+    #[test]
+    fn fully_filtered_batches_are_skipped() {
+        let sel = Select::new(src(&[1, 2]), Predicate::ge_i32(0, 100));
+        assert!(collect_batches(sel).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stacked_selects_intersect() {
+        let inner = Select::new(src(&[1, 2, 3, 4, 5, 6]), Predicate::ge_i32(0, 3));
+        let outer = Select::new(Box::new(inner), Predicate::lt_i32(0, 6));
+        assert_eq!(collect_i32_column(outer, 0).unwrap(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn selection_does_not_copy_rows() {
+        let mut sel = Select::new(src(&[5, 1, 9]), Predicate::ge_i32(0, 4));
+        sel.open().unwrap();
+        let batch = sel.next().unwrap().unwrap();
+        // Physical rows intact; only the selection marks survivors.
+        assert_eq!(batch.num_rows(), 3);
+        assert_eq!(batch.live_rows(), 2);
+        sel.close();
+    }
+
+    #[test]
+    fn schema_passes_through() {
+        let sel = Select::new(src(&[1]), Predicate::eq_i32(0, 1));
+        assert_eq!(sel.schema(), &[ValueType::I32]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The Okapi BM25 retrieval model (§3.2, equations 1 and 2) and the
+//! Global-By-Value score quantization of §3.3.
+//!
+//! Per-term document score:
+//!
+//! ```text
+//! ω(D,T) = log(f_D / f_{T,D}) · (k1 + 1) · f_{D,T}
+//!          ─────────────────────────────────────────
+//!          f_{D,T} + k1 · ((1 − b) + b · |D| / avgdl)
+//! ```
+//!
+//! with `f_D` = total documents, `f_{T,D}` = documents containing `T`,
+//! `f_{D,T}` = `T`'s frequency within `D`, `|D|` = document length, and
+//! `avgdl` the mean document length. A query's document score is the sum of
+//! its terms' ω values (equation 1), which is what makes the weights
+//! *query-independent* and hence materializable.
+
+/// BM25 tuning constants. The paper treats `k1` and `b` as "predefined
+/// constants"; we default to the standard Okapi values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (typically 1.2).
+    pub k1: f32,
+    /// Length-normalization strength in `[0, 1]` (typically 0.75).
+    pub b: f32,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Collection-level statistics entering the formula.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// `f_D`: number of documents.
+    pub num_docs: u32,
+    /// `avgdl`: average document length.
+    pub avg_doc_len: f32,
+}
+
+/// `log(f_D / f_{T,D})` — the inverse-document-frequency factor, zero for
+/// terms that appear nowhere (a convention that makes unknown terms inert).
+pub fn idf(num_docs: u32, doc_freq: u32) -> f32 {
+    if doc_freq == 0 || num_docs == 0 {
+        return 0.0;
+    }
+    (num_docs as f32 / doc_freq as f32).ln()
+}
+
+/// The full per-term, per-document weight ω(D,T).
+pub fn term_weight(
+    params: Bm25Params,
+    stats: CollectionStats,
+    doc_freq: u32,
+    tf: u32,
+    doc_len: u32,
+) -> f32 {
+    if tf == 0 {
+        return 0.0;
+    }
+    let idf = idf(stats.num_docs, doc_freq);
+    let tf = tf as f32;
+    let norm = (1.0 - params.b) + params.b * doc_len as f32 / stats.avg_doc_len;
+    idf * (params.k1 + 1.0) * tf / (tf + params.k1 * norm)
+}
+
+/// Global-By-Value quantization (§3.3): maps the collection-wide range of
+/// ω values `[L, U]` linearly onto integers `1..=q`.
+///
+/// ```text
+/// ω' = ⌊ q · (ω − L) / (U − L) ⌋ + 1      (clamped to 1..=q)
+/// ```
+///
+/// The paper uses `q = 256`, shrinking materialized scores from 32-bit
+/// floats to 8 bits "without loss of precision" (ranking-wise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    /// Minimum ω in the collection.
+    pub lower: f32,
+    /// Maximum ω in the collection.
+    pub upper: f32,
+    /// Number of quantization levels.
+    pub q: u32,
+}
+
+impl Quantizer {
+    /// Fits a quantizer to observed weights.
+    ///
+    /// # Panics
+    /// Panics if `q == 0`.
+    pub fn fit(weights: impl IntoIterator<Item = f32>, q: u32) -> Self {
+        assert!(q > 0, "quantization levels must be positive");
+        let mut lower = f32::INFINITY;
+        let mut upper = f32::NEG_INFINITY;
+        for w in weights {
+            lower = lower.min(w);
+            upper = upper.max(w);
+        }
+        if !lower.is_finite() || !upper.is_finite() {
+            // Empty input: any range works, every encode clamps to 1.
+            lower = 0.0;
+            upper = 1.0;
+        }
+        if upper <= lower {
+            upper = lower + 1.0;
+        }
+        Quantizer { lower, upper, q }
+    }
+
+    /// Quantizes one weight into `1..=q`.
+    pub fn encode(&self, w: f32) -> u32 {
+        let scaled =
+            (self.q as f32 * (w - self.lower) / (self.upper - self.lower)).floor() as i64 + 1;
+        scaled.clamp(1, i64::from(self.q)) as u32
+    }
+
+    /// Midpoint value of a quantization level (for diagnostics; ranking
+    /// needs only the integer codes).
+    pub fn decode(&self, code: u32) -> f32 {
+        let step = (self.upper - self.lower) / self.q as f32;
+        self.lower + (code as f32 - 0.5) * step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATS: CollectionStats = CollectionStats {
+        num_docs: 1000,
+        avg_doc_len: 100.0,
+    };
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        assert!(idf(1000, 10) > idf(1000, 100));
+        assert_eq!(idf(1000, 1000), 0.0);
+        assert_eq!(idf(1000, 0), 0.0);
+    }
+
+    #[test]
+    fn weight_zero_for_absent_term() {
+        assert_eq!(
+            term_weight(Bm25Params::default(), STATS, 10, 0, 100),
+            0.0
+        );
+    }
+
+    #[test]
+    fn weight_increases_with_tf_but_saturates() {
+        let p = Bm25Params::default();
+        let w1 = term_weight(p, STATS, 10, 1, 100);
+        let w2 = term_weight(p, STATS, 10, 2, 100);
+        let w10 = term_weight(p, STATS, 10, 10, 100);
+        let w100 = term_weight(p, STATS, 10, 100, 100);
+        assert!(w2 > w1);
+        assert!(w10 > w2);
+        // Saturation: the step from 10 to 100 is smaller than 10x.
+        assert!(w100 < w10 * 3.0);
+        // Upper bound: (k1+1) * idf.
+        assert!(w100 < (p.k1 + 1.0) * idf(1000, 10));
+    }
+
+    #[test]
+    fn longer_documents_penalized() {
+        let p = Bm25Params::default();
+        let short = term_weight(p, STATS, 10, 3, 50);
+        let long = term_weight(p, STATS, 10, 3, 500);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn b_zero_disables_length_normalization() {
+        let p = Bm25Params { k1: 1.2, b: 0.0 };
+        let short = term_weight(p, STATS, 10, 3, 50);
+        let long = term_weight(p, STATS, 10, 3, 500);
+        assert_eq!(short, long);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let p = Bm25Params::default();
+        let rare = term_weight(p, STATS, 5, 3, 100);
+        let common = term_weight(p, STATS, 500, 3, 100);
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn quantizer_fits_range_and_clamps() {
+        let qz = Quantizer::fit([0.0f32, 5.0, 10.0], 256);
+        assert_eq!(qz.encode(0.0), 1);
+        assert_eq!(qz.encode(10.0), 256);
+        assert_eq!(qz.encode(-99.0), 1);
+        assert_eq!(qz.encode(99.0), 256);
+        let mid = qz.encode(5.0);
+        assert!((120..=136).contains(&mid), "{mid}");
+    }
+
+    #[test]
+    fn quantization_is_monotone() {
+        let qz = Quantizer::fit([0.0f32, 1.0], 256);
+        let mut prev = 0;
+        for i in 0..=100 {
+            let code = qz.encode(i as f32 / 100.0);
+            assert!(code >= prev, "monotonicity violated at {i}");
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn quantizer_handles_degenerate_ranges() {
+        let qz = Quantizer::fit([2.5f32, 2.5], 256);
+        assert_eq!(qz.encode(2.5), 1);
+        let qz = Quantizer::fit(std::iter::empty(), 8);
+        assert_eq!(qz.encode(0.5), 5); // arbitrary but valid and in range
+    }
+
+    #[test]
+    fn decode_is_inside_level() {
+        let qz = Quantizer::fit([0.0f32, 256.0], 256);
+        for code in [1u32, 77, 256] {
+            let mid = qz.decode(code);
+            assert_eq!(qz.encode(mid), code);
+        }
+    }
+
+    #[test]
+    fn quantized_order_preserves_ranking_mostly() {
+        // Ranking by quantized sums must track ranking by float sums for
+        // well-separated scores (the "no loss of precision" claim).
+        let qz = Quantizer::fit((0..1000).map(|i| i as f32 * 0.01), 256);
+        let a = 3.0f32;
+        let b = 5.0f32;
+        assert!(qz.encode(a) < qz.encode(b));
+    }
+}

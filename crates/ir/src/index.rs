@@ -1,0 +1,458 @@
+//! The inverted index as relational tables (§3.1).
+//!
+//! "To index the data, we used an inverted list data-structure, represented
+//! by a relational table. This `[term, docid, tf]` (TD) table ... is ordered
+//! on (term, docid), which allows the term column to be replaced by a range
+//! index onto `[docid, tf]`". Alongside TD live the document table
+//! `D[docid, name, length]` and per-term statistics `T[term, ftd]`.
+//!
+//! Index variants reproduce the Table 2 ladder:
+//!
+//! * `compress = false` → raw 32-bit `docid`/`tf` columns (runs BoolAND,
+//!   BoolOR, BM25, BM25T);
+//! * `compress = true` → `docid` as PFOR-DELTA and `tf` as PFOR, both with
+//!   8-bit code words, matching §3.3's "11.98 and 8.13 bits per tuple"
+//!   setup (run BM25TC);
+//! * [`Materialize::F32`] → adds a precomputed 32-bit ω score column
+//!   (run BM25TCM — note this *increases* I/O volume vs compressed tf);
+//! * [`Materialize::Quantized8`] → adds an 8-bit Global-By-Value quantized
+//!   score column (run BM25TCMQ8).
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use x100_compress::Codec;
+use x100_storage::{Column, ColumnBuilder, StringColumn, Table};
+use x100_corpus::SyntheticCollection;
+
+use crate::bm25::{term_weight, Bm25Params, CollectionStats, Quantizer};
+
+/// Which materialized score column to build (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Materialize {
+    /// No score materialization.
+    #[default]
+    None,
+    /// 32-bit float ω values (stored bit-cast in a raw u32 column; floats
+    /// do not benefit from integer compression, which is exactly why the
+    /// paper's BM25TCM cold run regressed).
+    F32,
+    /// 8-bit Global-By-Value quantized scores, PFOR-compressed.
+    Quantized8,
+}
+
+/// Index build configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexConfig {
+    /// Compress `docid` (PFOR-DELTA/8) and `tf` (PFOR/8) columns.
+    pub compress: bool,
+    /// Score materialization variant.
+    pub materialize: Materialize,
+    /// BM25 constants used for materialization (must match query-time
+    /// parameters, since materialized scores bake them in).
+    pub params: Bm25Params,
+    /// Storage block size in values.
+    pub block_size: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            compress: true,
+            materialize: Materialize::None,
+            params: Bm25Params::default(),
+            block_size: 1 << 18, // 256 Ki values = 1 MB uncompressed
+        }
+    }
+}
+
+impl IndexConfig {
+    /// The uncompressed baseline (runs BoolAND / BoolOR / BM25 / BM25T).
+    pub fn uncompressed() -> Self {
+        IndexConfig {
+            compress: false,
+            ..Default::default()
+        }
+    }
+
+    /// Compressed index (run BM25TC).
+    pub fn compressed() -> Self {
+        IndexConfig::default()
+    }
+
+    /// Compressed + materialized f32 scores (run BM25TCM).
+    pub fn materialized_f32() -> Self {
+        IndexConfig {
+            materialize: Materialize::F32,
+            ..Default::default()
+        }
+    }
+
+    /// Compressed + 8-bit quantized materialized scores (run BM25TCMQ8).
+    pub fn materialized_q8() -> Self {
+        IndexConfig {
+            materialize: Materialize::Quantized8,
+            ..Default::default()
+        }
+    }
+}
+
+/// The built index: TD/D/T tables plus the range index and lookup state.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    config: IndexConfig,
+    /// TD table: `docid`, `tf`, and optionally `score` columns, ordered by
+    /// (term, docid).
+    td: Table,
+    /// Range index replacing the term column: `term_ranges[t]` is the row
+    /// range of term `t`'s posting list in TD.
+    term_ranges: Vec<Range<usize>>,
+    /// D table metadata, docid-indexed.
+    doc_names: StringColumn,
+    doc_lens: Arc<Vec<i32>>,
+    /// T table: per-term document frequencies (`ftd`).
+    doc_freqs: Vec<u32>,
+    /// Term string -> id.
+    term_dict: HashMap<String, u32>,
+    stats: CollectionStats,
+    quantizer: Option<Quantizer>,
+}
+
+impl InvertedIndex {
+    /// Builds the index from a collection.
+    pub fn build(collection: &SyntheticCollection, config: &IndexConfig) -> Self {
+        let num_terms = collection.vocab.len();
+        let num_docs = collection.docs.len();
+
+        // Pass 1: document frequencies (= posting-list lengths).
+        let mut doc_freqs = vec![0u32; num_terms];
+        let mut total_postings = 0usize;
+        for doc in &collection.docs {
+            for &(t, _) in &doc.terms {
+                doc_freqs[t as usize] += 1;
+                total_postings += 1;
+            }
+        }
+
+        // Prefix offsets give each term its contiguous TD range.
+        let mut offsets = vec![0usize; num_terms + 1];
+        for t in 0..num_terms {
+            offsets[t + 1] = offsets[t] + doc_freqs[t] as usize;
+        }
+
+        // Pass 2: scatter postings into (term, docid)-sorted order.
+        // Documents are visited in docid order, so each term's slice fills
+        // in ascending docid order — the sort comes for free.
+        let mut docid_col = vec![0u32; total_postings];
+        let mut tf_col = vec![0u32; total_postings];
+        let mut cursor = offsets.clone();
+        for doc in &collection.docs {
+            for &(t, tf) in &doc.terms {
+                let slot = cursor[t as usize];
+                docid_col[slot] = doc.id;
+                tf_col[slot] = tf;
+                cursor[t as usize] += 1;
+            }
+        }
+
+        let doc_lens: Arc<Vec<i32>> = Arc::new(
+            collection.docs.iter().map(|d| d.len as i32).collect(),
+        );
+        let avg_doc_len = if num_docs == 0 {
+            1.0
+        } else {
+            doc_lens.iter().map(|&l| l as f64).sum::<f64>() as f32 / num_docs as f32
+        };
+        let stats = CollectionStats {
+            num_docs: num_docs as u32,
+            avg_doc_len,
+        };
+
+        // Build the TD table columns.
+        let (docid_codec, tf_codec) = if config.compress {
+            (Codec::PforDelta { width: 8 }, Codec::Pfor { width: 8 })
+        } else {
+            (Codec::Raw, Codec::Raw)
+        };
+        let mut td = Table::new("TD");
+        td.add_column(build_column("docid", docid_codec, &docid_col, config.block_size));
+        td.add_column(build_column("tf", tf_codec, &tf_col, config.block_size));
+
+        // Optional score materialization (§3.3): ω is query-independent
+        // once k1 and b are fixed.
+        let mut quantizer = None;
+        if config.materialize != Materialize::None {
+            let weights = |i: usize| {
+                let t = term_of_slot(&offsets, i);
+                term_weight(
+                    config.params,
+                    stats,
+                    doc_freqs[t],
+                    tf_col[i],
+                    doc_lens[docid_col[i] as usize] as u32,
+                )
+            };
+            match config.materialize {
+                Materialize::F32 => {
+                    let bits: Vec<u32> = (0..total_postings)
+                        .map(|i| weights(i).to_bits())
+                        .collect();
+                    td.add_column(build_column("score", Codec::Raw, &bits, config.block_size));
+                }
+                Materialize::Quantized8 => {
+                    let qz =
+                        Quantizer::fit((0..total_postings).map(weights), 256);
+                    let codes: Vec<u32> =
+                        (0..total_postings).map(|i| qz.encode(weights(i))).collect();
+                    td.add_column(build_column(
+                        "score",
+                        Codec::Pfor { width: 8 },
+                        &codes,
+                        config.block_size,
+                    ));
+                    quantizer = Some(qz);
+                }
+                Materialize::None => unreachable!(),
+            }
+        }
+
+        let term_ranges = (0..num_terms).map(|t| offsets[t]..offsets[t + 1]).collect();
+        let term_dict = collection
+            .vocab
+            .iter()
+            .enumerate()
+            .map(|(t, s)| (s.clone(), t as u32))
+            .collect();
+        let doc_names = StringColumn::new(
+            "name",
+            collection.docs.iter().map(|d| d.name.clone()).collect(),
+        );
+
+        InvertedIndex {
+            config: config.clone(),
+            td,
+            term_ranges,
+            doc_names,
+            doc_lens,
+            doc_freqs,
+            term_dict,
+            stats,
+            quantizer,
+        }
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The TD table (docid/tf/score columns).
+    pub fn td(&self) -> &Table {
+        &self.td
+    }
+
+    /// TD row range of a term's posting list (empty for unseen terms).
+    pub fn term_range(&self, term: u32) -> Range<usize> {
+        self.term_ranges
+            .get(term as usize)
+            .cloned()
+            .unwrap_or(0..0)
+    }
+
+    /// Resolves a term string to its id.
+    pub fn term_id(&self, term: &str) -> Option<u32> {
+        self.term_dict.get(term).copied()
+    }
+
+    /// `ftd`: number of documents containing the term.
+    pub fn doc_freq(&self, term: u32) -> u32 {
+        self.doc_freqs.get(term as usize).copied().unwrap_or(0)
+    }
+
+    /// Document name by docid.
+    pub fn doc_name(&self, docid: u32) -> Option<&str> {
+        self.doc_names.get(docid as usize)
+    }
+
+    /// Dense docid-indexed document lengths (the D table's `length`).
+    pub fn doc_lens(&self) -> &Arc<Vec<i32>> {
+        &self.doc_lens
+    }
+
+    /// Collection statistics for BM25.
+    pub fn stats(&self) -> CollectionStats {
+        self.stats
+    }
+
+    /// The fitted quantizer, when `Materialize::Quantized8` was used.
+    pub fn quantizer(&self) -> Option<&Quantizer> {
+        self.quantizer.as_ref()
+    }
+
+    /// Whether a materialized score column exists.
+    pub fn has_materialized_scores(&self) -> bool {
+        self.config.materialize != Materialize::None
+    }
+
+    /// Number of postings (TD rows).
+    pub fn num_postings(&self) -> usize {
+        self.td.row_count()
+    }
+
+    /// Bits per tuple of the named TD column — the §3.3 accounting.
+    pub fn column_bits_per_tuple(&self, name: &str) -> f64 {
+        self.td
+            .column(name)
+            .map(|c| c.bits_per_value())
+            .unwrap_or(f64::NAN)
+    }
+}
+
+fn build_column(name: &str, codec: Codec, values: &[u32], block_size: usize) -> Column {
+    let mut b = ColumnBuilder::with_block_size(name, codec, block_size);
+    b.extend(values);
+    b.finish()
+}
+
+/// Maps a TD row index back to its term id via the offsets table.
+fn term_of_slot(offsets: &[usize], slot: usize) -> usize {
+    offsets.partition_point(|&o| o <= slot) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x100_corpus::CollectionConfig;
+
+    fn tiny_index(config: IndexConfig) -> (SyntheticCollection, InvertedIndex) {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let idx = InvertedIndex::build(&c, &config);
+        (c, idx)
+    }
+
+    #[test]
+    fn postings_sorted_by_term_then_docid() {
+        let (c, idx) = tiny_index(IndexConfig::uncompressed());
+        let docids = idx.td().column("docid").unwrap().read_all();
+        for t in 0..c.vocab.len() as u32 {
+            let r = idx.term_range(t);
+            let list = &docids[r.clone()];
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "term {t} posting list not strictly increasing"
+            );
+            assert_eq!(list.len(), idx.doc_freq(t) as usize);
+        }
+    }
+
+    #[test]
+    fn posting_lists_match_source_documents() {
+        let (c, idx) = tiny_index(IndexConfig::uncompressed());
+        let docids = idx.td().column("docid").unwrap().read_all();
+        let tfs = idx.td().column("tf").unwrap().read_all();
+        // Spot-check every posting of a mid-frequency term.
+        let term = 10u32;
+        let r = idx.term_range(term);
+        for i in r {
+            let (d, tf) = (docids[i], tfs[i]);
+            let doc = &c.docs[d as usize];
+            let found = doc
+                .terms
+                .binary_search_by_key(&term, |&(t, _)| t)
+                .map(|j| doc.terms[j].1)
+                .unwrap();
+            assert_eq!(found, tf);
+        }
+    }
+
+    #[test]
+    fn compressed_and_raw_indexes_agree() {
+        let (_, raw) = tiny_index(IndexConfig::uncompressed());
+        let (_, comp) = tiny_index(IndexConfig::compressed());
+        assert_eq!(
+            raw.td().column("docid").unwrap().read_all(),
+            comp.td().column("docid").unwrap().read_all()
+        );
+        assert_eq!(
+            raw.td().column("tf").unwrap().read_all(),
+            comp.td().column("tf").unwrap().read_all()
+        );
+    }
+
+    #[test]
+    fn compression_shrinks_hot_columns() {
+        let (_, comp) = tiny_index(IndexConfig::compressed());
+        assert!(comp.column_bits_per_tuple("docid") < 16.0);
+        assert!(comp.column_bits_per_tuple("tf") < 10.0);
+    }
+
+    #[test]
+    fn term_dictionary_resolves() {
+        let (_, idx) = tiny_index(IndexConfig::uncompressed());
+        assert_eq!(idx.term_id("term3"), Some(3));
+        assert_eq!(idx.term_id("no-such-term"), None);
+        assert_eq!(idx.term_range(9999), 0..0);
+        assert_eq!(idx.doc_freq(9999), 0);
+    }
+
+    #[test]
+    fn doc_metadata_accessible() {
+        let (c, idx) = tiny_index(IndexConfig::uncompressed());
+        assert_eq!(idx.doc_name(0), Some("doc-00000000"));
+        assert_eq!(idx.doc_lens().len(), c.docs.len());
+        assert_eq!(idx.doc_lens()[5], c.docs[5].len as i32);
+        let avg = idx.stats().avg_doc_len;
+        assert!((avg as f64 - c.avg_doc_len()).abs() < 1.0);
+    }
+
+    #[test]
+    fn materialized_f32_scores_match_formula() {
+        let (_, idx) = tiny_index(IndexConfig::materialized_f32());
+        let bits = idx.td().column("score").unwrap().read_all();
+        let docids = idx.td().column("docid").unwrap().read_all();
+        let tfs = idx.td().column("tf").unwrap().read_all();
+        let term = 10u32;
+        let r = idx.term_range(term);
+        for i in r {
+            let expect = term_weight(
+                idx.config().params,
+                idx.stats(),
+                idx.doc_freq(term),
+                tfs[i],
+                idx.doc_lens()[docids[i] as usize] as u32,
+            );
+            assert_eq!(f32::from_bits(bits[i]), expect, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn quantized_scores_in_range_and_monotone_per_doc() {
+        let (_, idx) = tiny_index(IndexConfig::materialized_q8());
+        let codes = idx.td().column("score").unwrap().read_all();
+        assert!(codes.iter().all(|&c| (1..=256).contains(&c)));
+        assert!(idx.quantizer().is_some());
+    }
+
+    #[test]
+    fn term_of_slot_inverts_offsets() {
+        let offsets = vec![0usize, 3, 3, 7, 10];
+        assert_eq!(term_of_slot(&offsets, 0), 0);
+        assert_eq!(term_of_slot(&offsets, 2), 0);
+        assert_eq!(term_of_slot(&offsets, 3), 2); // term 1 is empty
+        assert_eq!(term_of_slot(&offsets, 6), 2);
+        assert_eq!(term_of_slot(&offsets, 9), 3);
+    }
+
+    #[test]
+    fn empty_collection_builds() {
+        let mut cfg = CollectionConfig::tiny();
+        cfg.num_docs = 0;
+        cfg.num_eval_queries = 0;
+        cfg.relevant_per_query = 0;
+        let c = SyntheticCollection::generate(&cfg);
+        let idx = InvertedIndex::build(&c, &IndexConfig::default());
+        assert_eq!(idx.num_postings(), 0);
+        assert_eq!(idx.term_range(0), 0..0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Selection vectors.
+//!
+//! In X100, selection primitives (`select_lt_date_col_date_val` in Figure 1)
+//! do not copy the surviving tuples; they emit a **selection vector** — the
+//! list of qualifying positions — that downstream primitives consult. This
+//! keeps selection O(selected) instead of O(copied bytes) and preserves the
+//! cache residency of the underlying vectors.
+
+/// A list of selected positions within an execution vector.
+///
+/// Positions are `u32` (a vector never exceeds [`crate::VectorSize::MAX`]
+/// values) and are maintained in strictly increasing order, which downstream
+/// merge primitives rely on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectionVector {
+    positions: Vec<u32>,
+}
+
+impl SelectionVector {
+    /// Creates an empty selection with the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SelectionVector {
+            positions: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a selection covering every position in `0..len` (the
+    /// "all selected" identity produced by a scan).
+    pub fn identity(len: usize) -> Self {
+        SelectionVector {
+            positions: (0..len as u32).collect(),
+        }
+    }
+
+    /// Creates a selection from explicit positions.
+    ///
+    /// # Panics
+    /// Panics if positions are not strictly increasing (debug builds only),
+    /// since ordered positions are an invariant of every producer.
+    pub fn from_positions(positions: Vec<u32>) -> Self {
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "selection positions must be strictly increasing"
+        );
+        SelectionVector { positions }
+    }
+
+    /// Number of selected positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether nothing is selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The selected positions, in increasing order.
+    #[inline]
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Clears the selection, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.positions.clear();
+    }
+
+    /// Appends a position. Debug-asserts ordering.
+    #[inline]
+    pub fn push(&mut self, pos: u32) {
+        debug_assert!(
+            self.positions.last().is_none_or(|&last| pos > last),
+            "selection positions must be strictly increasing"
+        );
+        self.positions.push(pos);
+    }
+
+    /// Intersects with another selection (logical AND of two predicates),
+    /// writing the result into `self`. Linear in `self.len() + other.len()`.
+    pub fn intersect(&mut self, other: &SelectionVector) {
+        let mut out = Vec::with_capacity(self.positions.len().min(other.positions.len()));
+        let (a, b) = (&self.positions, &other.positions);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.positions = out;
+    }
+
+    /// Unions with another selection (logical OR), writing into `self`.
+    pub fn union(&mut self, other: &SelectionVector) {
+        let mut out = Vec::with_capacity(self.positions.len() + other.positions.len());
+        let (a, b) = (&self.positions, &other.positions);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.positions = out;
+    }
+
+    /// Iterator over the selected positions as `usize`.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.positions.iter().map(|&p| p as usize)
+    }
+}
+
+impl FromIterator<u32> for SelectionVector {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        Self::from_positions(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_covers_all() {
+        let s = SelectionVector::identity(4);
+        assert_eq!(s.positions(), &[0, 1, 2, 3]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn identity_of_zero_is_empty() {
+        assert!(SelectionVector::identity(0).is_empty());
+    }
+
+    #[test]
+    fn intersect_keeps_common() {
+        let mut a = SelectionVector::from_positions(vec![0, 2, 4, 6]);
+        let b = SelectionVector::from_positions(vec![2, 3, 4, 7]);
+        a.intersect(&b);
+        assert_eq!(a.positions(), &[2, 4]);
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let mut a = SelectionVector::from_positions(vec![1, 2]);
+        a.intersect(&SelectionVector::default());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn union_merges_sorted() {
+        let mut a = SelectionVector::from_positions(vec![0, 4]);
+        let b = SelectionVector::from_positions(vec![1, 4, 9]);
+        a.union(&b);
+        assert_eq!(a.positions(), &[0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let mut a = SelectionVector::from_positions(vec![3, 5]);
+        a.union(&SelectionVector::default());
+        assert_eq!(a.positions(), &[3, 5]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_enforces_order_in_debug() {
+        let mut s = SelectionVector::default();
+        s.push(5);
+        s.push(5);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: SelectionVector = (0..3u32).collect();
+        assert_eq!(s.positions(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn iter_yields_usize() {
+        let s = SelectionVector::from_positions(vec![1, 3]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 3]);
+    }
+}

@@ -1,0 +1,280 @@
+//! End-to-end integration: collection → index → query → evaluation,
+//! spanning every crate through the facade.
+
+use std::collections::HashSet;
+
+use monetdb_x100::corpus::{precision_at_k, CollectionConfig, SyntheticCollection};
+use monetdb_x100::distributed::SimulatedCluster;
+use monetdb_x100::ir::{
+    Bm25Params, IndexConfig, InvertedIndex, Materialize, QueryEngine, SearchStrategy,
+};
+use monetdb_x100::storage::{BufferMode, DiskModel};
+
+fn collection() -> SyntheticCollection {
+    SyntheticCollection::generate(&CollectionConfig::tiny())
+}
+
+#[test]
+fn full_ladder_runs_and_ranks() {
+    let c = collection();
+    let raw = InvertedIndex::build(&c, &IndexConfig::uncompressed());
+    let compressed = InvertedIndex::build(&c, &IndexConfig::compressed());
+    let mat = InvertedIndex::build(&c, &IndexConfig::materialized_f32());
+    let q8 = InvertedIndex::build(&c, &IndexConfig::materialized_q8());
+
+    let cases: Vec<(&InvertedIndex, SearchStrategy)> = vec![
+        (&raw, SearchStrategy::BoolAnd),
+        (&raw, SearchStrategy::BoolOr),
+        (&raw, SearchStrategy::Bm25),
+        (&raw, SearchStrategy::Bm25TwoPass),
+        (&compressed, SearchStrategy::Bm25TwoPass),
+        (&mat, SearchStrategy::Bm25MaterializedTwoPass),
+        (&q8, SearchStrategy::Bm25MaterializedTwoPass),
+    ];
+    for (index, strategy) in cases {
+        let engine = QueryEngine::new(index);
+        for q in &c.eval_queries {
+            let resp = engine.search(&q.terms, strategy, 20).expect("search");
+            assert!(resp.results.len() <= 20);
+            assert!(
+                resp.results.windows(2).all(|w| w[0].score >= w[1].score),
+                "{strategy:?} results must be score-ordered"
+            );
+            // Every returned doc actually exists and its name matches.
+            for r in &resp.results {
+                assert!((r.docid as usize) < c.docs.len());
+                assert_eq!(r.name, c.docs[r.docid as usize].name);
+            }
+        }
+    }
+}
+
+#[test]
+fn ranked_strategies_agree_across_index_encodings() {
+    // Compression must be invisible to query results.
+    let c = collection();
+    let raw = InvertedIndex::build(&c, &IndexConfig::uncompressed());
+    let compressed = InvertedIndex::build(&c, &IndexConfig::compressed());
+    let e_raw = QueryEngine::new(&raw);
+    let e_comp = QueryEngine::new(&compressed);
+    for q in &c.eval_queries {
+        for strategy in [
+            SearchStrategy::BoolAnd,
+            SearchStrategy::BoolOr,
+            SearchStrategy::Bm25,
+            SearchStrategy::Bm25TwoPass,
+        ] {
+            let a = e_raw.search(&q.terms, strategy, 15).expect("raw");
+            let b = e_comp.search(&q.terms, strategy, 15).expect("compressed");
+            assert_eq!(a.results, b.results, "{strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn bm25_outranks_boolean_at_scale() {
+    let c = SyntheticCollection::generate(&CollectionConfig::small());
+    let index = InvertedIndex::build(&c, &IndexConfig::compressed());
+    let engine = QueryEngine::new(&index);
+    let (mut p_bool, mut p_bm25) = (0.0, 0.0);
+    for q in &c.eval_queries {
+        let and: Vec<u32> = engine
+            .search(&q.terms, SearchStrategy::BoolAnd, c.docs.len())
+            .expect("bool")
+            .results
+            .iter()
+            .take(20)
+            .map(|r| r.docid)
+            .collect();
+        let bm: Vec<u32> = engine
+            .search(&q.terms, SearchStrategy::Bm25, 20)
+            .expect("bm25")
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        p_bool += precision_at_k(&and, &q.relevant, 20);
+        p_bm25 += precision_at_k(&bm, &q.relevant, 20);
+    }
+    assert!(
+        p_bm25 > p_bool * 3.0,
+        "Table 2 shape: BM25 ({p_bm25}) must dominate boolean ({p_bool})"
+    );
+}
+
+#[test]
+fn materialized_scores_do_not_change_the_ranking() {
+    let c = collection();
+    let mat = InvertedIndex::build(&c, &IndexConfig::materialized_f32());
+    let engine = QueryEngine::new(&mat);
+    for q in &c.eval_queries {
+        let computed: Vec<u32> = engine
+            .search(&q.terms, SearchStrategy::Bm25, 15)
+            .expect("computed")
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        let materialized: Vec<u32> = engine
+            .search(&q.terms, SearchStrategy::Bm25Materialized, 15)
+            .expect("materialized")
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        assert_eq!(computed, materialized);
+    }
+}
+
+#[test]
+fn cold_hot_io_accounting_through_the_stack() {
+    let c = collection();
+    let index = InvertedIndex::build(&c, &IndexConfig::compressed());
+    let engine =
+        QueryEngine::with_buffering(&index, DiskModel::raid12(), BufferMode::Hot, 0);
+    let q = &c.eval_queries[0];
+
+    let cold = engine.search(&q.terms, SearchStrategy::Bm25, 10).expect("cold");
+    assert!(cold.io.reads > 0 && cold.io.sim_time > std::time::Duration::ZERO);
+    let hot = engine.search(&q.terms, SearchStrategy::Bm25, 10).expect("hot");
+    assert_eq!(hot.io.reads, 0, "resident blocks must not re-charge I/O");
+    assert_eq!(cold.results, hot.results);
+
+    // Eviction makes it cold again.
+    engine.buffers().evict_all();
+    let recold = engine.search(&q.terms, SearchStrategy::Bm25, 10).expect("recold");
+    assert!(recold.io.reads > 0);
+}
+
+#[test]
+fn compressed_index_charges_less_io_than_raw() {
+    let c = SyntheticCollection::generate(&CollectionConfig::small());
+    let raw = InvertedIndex::build(&c, &IndexConfig::uncompressed());
+    let compressed = InvertedIndex::build(&c, &IndexConfig::compressed());
+    let e_raw = QueryEngine::new(&raw);
+    let e_comp = QueryEngine::new(&compressed);
+    let mut raw_bytes = 0u64;
+    let mut comp_bytes = 0u64;
+    for q in c.efficiency_log.iter().take(30) {
+        e_raw.buffers().evict_all();
+        e_comp.buffers().evict_all();
+        raw_bytes += e_raw.search(q, SearchStrategy::Bm25, 20).expect("raw").io.bytes;
+        comp_bytes += e_comp
+            .search(q, SearchStrategy::Bm25, 20)
+            .expect("comp")
+            .io
+            .bytes;
+    }
+    assert!(
+        comp_bytes * 2 < raw_bytes,
+        "compression must at least halve cold I/O volume: {comp_bytes} vs {raw_bytes}"
+    );
+}
+
+#[test]
+fn two_pass_fallback_fires_on_rare_conjunctions() {
+    let c = SyntheticCollection::generate(&CollectionConfig::small());
+    let index = InvertedIndex::build(&c, &IndexConfig::compressed());
+    let engine = QueryEngine::new(&index);
+    let mut second = 0usize;
+    for q in &c.efficiency_log {
+        let resp = engine
+            .search(q, SearchStrategy::Bm25TwoPass, 20)
+            .expect("search");
+        if resp.passes == 2 {
+            second += 1;
+        }
+    }
+    // The efficiency log is calibrated to include rare tail terms; a
+    // meaningful fraction of queries must take the second pass (paper: ~15%).
+    let rate = second as f64 / c.efficiency_log.len() as f64;
+    assert!(
+        (0.02..0.6).contains(&rate),
+        "second-pass rate {rate} out of plausible range"
+    );
+}
+
+#[test]
+fn distributed_cluster_matches_single_node_on_two_partitions() {
+    let c = collection();
+    let cluster = SimulatedCluster::build(&c, 2, &IndexConfig::compressed());
+    let index = InvertedIndex::build(&c, &IndexConfig::compressed());
+    let engine = QueryEngine::new(&index);
+    let mut overlap = 0usize;
+    let mut total = 0usize;
+    for q in &c.eval_queries {
+        let single: HashSet<u32> = engine
+            .search(&q.terms, SearchStrategy::Bm25, 10)
+            .expect("single")
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        let dist: HashSet<u32> = cluster
+            .search(&q.terms, SearchStrategy::Bm25, 10)
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        overlap += single.intersection(&dist).count();
+        total += single.len();
+    }
+    assert!(overlap * 100 >= total * 80, "{overlap}/{total}");
+}
+
+#[test]
+fn quantization_loses_little_precision() {
+    let c = SyntheticCollection::generate(&CollectionConfig::small());
+    let f32_idx = InvertedIndex::build(&c, &IndexConfig::materialized_f32());
+    let q8_idx = InvertedIndex::build(&c, &IndexConfig::materialized_q8());
+    assert_eq!(f32_idx.config().materialize, Materialize::F32);
+    assert!(q8_idx.quantizer().is_some());
+    let ef = QueryEngine::new(&f32_idx);
+    let eq = QueryEngine::new(&q8_idx);
+    let (mut pf, mut pq) = (0.0, 0.0);
+    for q in &c.eval_queries {
+        let rf: Vec<u32> = ef
+            .search(&q.terms, SearchStrategy::Bm25Materialized, 20)
+            .expect("f32")
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        let rq: Vec<u32> = eq
+            .search(&q.terms, SearchStrategy::Bm25Materialized, 20)
+            .expect("q8")
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        pf += precision_at_k(&rf, &q.relevant, 20);
+        pq += precision_at_k(&rq, &q.relevant, 20);
+    }
+    let n = c.eval_queries.len() as f64;
+    assert!(
+        (pf / n - pq / n).abs() < 0.05,
+        "p@20 f32 {} vs q8 {}",
+        pf / n,
+        pq / n
+    );
+}
+
+#[test]
+fn custom_bm25_parameters_flow_through() {
+    let c = collection();
+    let mut config = IndexConfig::compressed();
+    config.params = Bm25Params { k1: 2.0, b: 0.5 };
+    let index = InvertedIndex::build(&c, &config);
+    let engine = QueryEngine::new(&index);
+    let default_index = InvertedIndex::build(&c, &IndexConfig::compressed());
+    let default_engine = QueryEngine::new(&default_index);
+    let q = &c.eval_queries[0];
+    let a = engine.search(&q.terms, SearchStrategy::Bm25, 10).expect("a");
+    let b = default_engine
+        .search(&q.terms, SearchStrategy::Bm25, 10)
+        .expect("b");
+    // Different parameters must actually change the scores.
+    assert_ne!(
+        a.results.first().map(|r| r.score),
+        b.results.first().map(|r| r.score)
+    );
+}

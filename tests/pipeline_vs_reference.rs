@@ -1,0 +1,186 @@
+//! Cross-crate property tests: the vectorized pipeline against straight-line
+//! reference implementations.
+
+use proptest::prelude::*;
+
+use monetdb_x100::compress::Codec;
+use monetdb_x100::exec::prelude::*;
+use monetdb_x100::exec::collect_batches;
+use monetdb_x100::storage::{BufferManager, BufferMode, Column, DiskModel, Table};
+use monetdb_x100::vector::{Batch, ValueType, Vector};
+
+/// Sorted unique docids with payloads — a posting list.
+fn posting_list() -> impl Strategy<Value = Vec<(i32, i32)>> {
+    prop::collection::btree_map(0i32..5000, 1i32..100, 0..300)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+fn postings_op(rows: &[(i32, i32)]) -> Box<dyn Operator> {
+    let docid: Vec<i32> = rows.iter().map(|&(d, _)| d).collect();
+    let tf: Vec<i32> = rows.iter().map(|&(_, t)| t).collect();
+    Box::new(MemSource::new(
+        vec![Batch::new(vec![
+            Vector::from_i32(&docid),
+            Vector::from_i32(&tf),
+        ])],
+        vec![ValueType::I32, ValueType::I32],
+    ))
+}
+
+fn rows_of(batches: &[Batch]) -> Vec<Vec<i32>> {
+    let mut rows = Vec::new();
+    for b in batches {
+        for r in 0..b.num_rows() {
+            rows.push(
+                (0..b.num_columns())
+                    .map(|c| b.column(c).as_i32()[r])
+                    .collect(),
+            );
+        }
+    }
+    rows
+}
+
+proptest! {
+    /// MergeJoin == sorted set intersection.
+    #[test]
+    fn merge_join_is_intersection(a in posting_list(), b in posting_list(), vs in 1usize..200) {
+        let join = MergeJoin::new(postings_op(&a), postings_op(&b), 0, 0, vs).unwrap();
+        let got: Vec<i32> = rows_of(&collect_batches(join).unwrap())
+            .into_iter()
+            .map(|r| r[0])
+            .collect();
+        let bset: std::collections::BTreeSet<i32> = b.iter().map(|&(d, _)| d).collect();
+        let expect: Vec<i32> = a.iter().map(|&(d, _)| d).filter(|d| bset.contains(d)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// MergeOuterJoin == sorted set union, with zero-filled misses.
+    #[test]
+    fn merge_outer_join_is_union(a in posting_list(), b in posting_list(), vs in 1usize..200) {
+        let join = MergeOuterJoin::new(postings_op(&a), postings_op(&b), 0, 0, vs).unwrap();
+        let rows = rows_of(&collect_batches(join).unwrap());
+        let got: Vec<i32> = rows.iter().map(|r| r[0].max(r[2])).collect();
+        let mut expect: Vec<i32> = a
+            .iter()
+            .map(|&(d, _)| d)
+            .chain(b.iter().map(|&(d, _)| d))
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(got, expect);
+        // tf columns: 0 exactly when the side is missing.
+        let aset: std::collections::BTreeMap<i32, i32> = a.iter().copied().collect();
+        for r in &rows {
+            let d = r[0].max(r[2]);
+            match aset.get(&d) {
+                Some(&tf) => prop_assert_eq!(r[1], tf),
+                None => prop_assert_eq!(r[1], 0),
+            }
+        }
+    }
+
+    /// TopN == take(n) of the fully sorted input (with the same tie rule).
+    #[test]
+    fn topn_is_sort_prefix(
+        scores in prop::collection::vec(-1000i32..1000, 0..400),
+        n in 0usize..50,
+        vs in 1usize..100,
+    ) {
+        let ids: Vec<i32> = (0..scores.len() as i32).collect();
+        let src = Box::new(MemSource::new(
+            vec![Batch::new(vec![
+                Vector::from_i32(&ids),
+                Vector::from_i32(&scores),
+            ])],
+            vec![ValueType::I32, ValueType::I32],
+        ));
+        let top = TopN::new(src, 1, n, vs).unwrap();
+        let got: Vec<(i32, i32)> = rows_of(&collect_batches(top).unwrap())
+            .into_iter()
+            .map(|r| (r[0], r[1]))
+            .collect();
+        let mut expect: Vec<(i32, i32)> = ids.iter().copied().zip(scores.iter().copied()).collect();
+        // Descending score; ties keep earlier (smaller id first).
+        expect.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        expect.truncate(n);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// A stored, compressed table scanned at any vector size round-trips.
+    #[test]
+    fn stored_scan_roundtrips(
+        values in prop::collection::vec(0u32..1_000_000, 1..3000),
+        vs in 1usize..300,
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut table = Table::new("t");
+        table.add_column(Column::from_values("docid", Codec::PforDelta { width: 8 }, &sorted));
+        let bm = BufferManager::with_mode(DiskModel::instant(), BufferMode::Hot, 0);
+        let scan = TableScan::new(&table, &bm, &["docid"], vs).unwrap();
+        let got = monetdb_x100::exec::collect_i32_column(scan, 0).unwrap();
+        let expect: Vec<i32> = sorted.iter().map(|&v| v as i32).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Select + Project through the pipeline == iterator filter + map.
+    #[test]
+    fn select_project_matches_iterator(
+        values in prop::collection::vec(-500i32..500, 0..500),
+        threshold in -500i32..500,
+        addend in -10i32..10,
+    ) {
+        let src = Box::new(MemSource::from_batch(Batch::new(vec![Vector::from_i32(&values)])));
+        let sel = Select::new(src, Predicate::ge_i32(0, threshold));
+        let proj = Project::new(
+            Box::new(sel),
+            vec![Expr::add(Expr::col_i32(0), Expr::const_i32(addend))],
+        );
+        let got = monetdb_x100::exec::collect_i32_column(proj, 0).unwrap();
+        let expect: Vec<i32> = values
+            .iter()
+            .filter(|&&v| v >= threshold)
+            .map(|&v| v.wrapping_add(addend))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// HashAggregate sums == BTreeMap reference.
+    #[test]
+    fn aggregate_matches_reference(
+        rows in prop::collection::vec((0i32..20, -100i32..100), 0..500),
+    ) {
+        let keys: Vec<i32> = rows.iter().map(|&(k, _)| k).collect();
+        let vals: Vec<i32> = rows.iter().map(|&(_, v)| v).collect();
+        let src = Box::new(MemSource::new(
+            vec![Batch::new(vec![
+                Vector::from_i32(&keys),
+                Vector::from_i32(&vals),
+            ])],
+            vec![ValueType::I32, ValueType::I32],
+        ));
+        let agg = HashAggregate::new(src, 0, vec![AggFunc::SumI32(1), AggFunc::CountStar], 64).unwrap();
+        let batches = collect_batches(agg).unwrap();
+        let mut got: Vec<(i32, i64, i64)> = Vec::new();
+        for b in &batches {
+            for r in 0..b.num_rows() {
+                got.push((
+                    b.column(0).as_i32()[r],
+                    b.column(1).as_i64()[r],
+                    b.column(2).as_i64()[r],
+                ));
+            }
+        }
+        let mut expect: std::collections::BTreeMap<i32, (i64, i64)> = Default::default();
+        for &(k, v) in &rows {
+            let e = expect.entry(k).or_insert((0, 0));
+            e.0 += i64::from(v);
+            e.1 += 1;
+        }
+        let expect: Vec<(i32, i64, i64)> =
+            expect.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+        prop_assert_eq!(got, expect);
+    }
+}
