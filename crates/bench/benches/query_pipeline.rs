@@ -22,7 +22,11 @@ fn bench_pipeline(c: &mut Criterion) {
         ("bool_or/raw", &raw, SearchStrategy::BoolOr),
         ("bm25/raw", &raw, SearchStrategy::Bm25),
         ("bm25_two_pass/raw", &raw, SearchStrategy::Bm25TwoPass),
-        ("bm25_two_pass/compressed", &compressed, SearchStrategy::Bm25TwoPass),
+        (
+            "bm25_two_pass/compressed",
+            &compressed,
+            SearchStrategy::Bm25TwoPass,
+        ),
         (
             "bm25_materialized_q8/compressed",
             &materialized,

@@ -5,7 +5,12 @@ use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy};
 
 fn main() {
     let mut cfg = CollectionConfig::small();
-    for (skip, band, exp) in [(15usize, 2000usize, 0.6f64), (10, 600, 0.6), (8, 300, 0.8), (5, 150, 1.0)] {
+    for (skip, band, exp) in [
+        (15usize, 2000usize, 0.6f64),
+        (10, 600, 0.6),
+        (8, 300, 0.8),
+        (5, 150, 1.0),
+    ] {
         cfg.query_log.head_skip = skip;
         cfg.query_log.band_size = band;
         cfg.query_log.band_exponent = exp;
@@ -17,7 +22,9 @@ fn main() {
         let mut p_bm = 0.0;
         let mut and_sizes = Vec::new();
         for q in &c.eval_queries {
-            let and = engine.search(&q.terms, SearchStrategy::BoolAnd, 100_000).unwrap();
+            let and = engine
+                .search(&q.terms, SearchStrategy::BoolAnd, 100_000)
+                .unwrap();
             and_sizes.push(and.results.len());
             let and_top: Vec<u32> = and.results.iter().take(20).map(|r| r.docid).collect();
             let or_top: Vec<u32> = engine

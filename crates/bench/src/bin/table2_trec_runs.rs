@@ -45,13 +45,41 @@ struct RunSpec {
 }
 
 const RUNS: &[RunSpec] = &[
-    RunSpec { name: "BoolAND", index: IndexConfig::uncompressed, strategy: SearchStrategy::BoolAnd },
-    RunSpec { name: "BoolOR", index: IndexConfig::uncompressed, strategy: SearchStrategy::BoolOr },
-    RunSpec { name: "BM25", index: IndexConfig::uncompressed, strategy: SearchStrategy::Bm25 },
-    RunSpec { name: "BM25T", index: IndexConfig::uncompressed, strategy: SearchStrategy::Bm25TwoPass },
-    RunSpec { name: "BM25TC", index: IndexConfig::compressed, strategy: SearchStrategy::Bm25TwoPass },
-    RunSpec { name: "BM25TCM", index: IndexConfig::materialized_f32, strategy: SearchStrategy::Bm25MaterializedTwoPass },
-    RunSpec { name: "BM25TCMQ8", index: IndexConfig::materialized_q8, strategy: SearchStrategy::Bm25MaterializedTwoPass },
+    RunSpec {
+        name: "BoolAND",
+        index: IndexConfig::uncompressed,
+        strategy: SearchStrategy::BoolAnd,
+    },
+    RunSpec {
+        name: "BoolOR",
+        index: IndexConfig::uncompressed,
+        strategy: SearchStrategy::BoolOr,
+    },
+    RunSpec {
+        name: "BM25",
+        index: IndexConfig::uncompressed,
+        strategy: SearchStrategy::Bm25,
+    },
+    RunSpec {
+        name: "BM25T",
+        index: IndexConfig::uncompressed,
+        strategy: SearchStrategy::Bm25TwoPass,
+    },
+    RunSpec {
+        name: "BM25TC",
+        index: IndexConfig::compressed,
+        strategy: SearchStrategy::Bm25TwoPass,
+    },
+    RunSpec {
+        name: "BM25TCM",
+        index: IndexConfig::materialized_f32,
+        strategy: SearchStrategy::Bm25MaterializedTwoPass,
+    },
+    RunSpec {
+        name: "BM25TCMQ8",
+        index: IndexConfig::materialized_q8,
+        strategy: SearchStrategy::Bm25MaterializedTwoPass,
+    },
 ];
 
 fn main() {
@@ -60,10 +88,7 @@ fn main() {
     if let Some(n) = args.get(1).and_then(|s| s.parse().ok()) {
         cfg.num_docs = n;
     }
-    cfg.num_efficiency_queries = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(800);
+    cfg.num_efficiency_queries = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(800);
 
     println!("Table 1 (context) — published TREC-TB 2005 leaders (verbatim):");
     let mut t1 = TablePrinter::new(&["Run", "p@20", "CPUs", "ms/query"]);
@@ -147,15 +172,13 @@ fn main() {
         // is its CPU time plus the simulated disk time it incurred.
         let cold_engine =
             QueryEngine::with_buffering(&index, DiskModel::raid12(), BufferMode::Hot, 0);
-        let sample: Vec<_> = collection
-            .efficiency_log
-            .iter()
-            .take(COLD_SAMPLE)
-            .collect();
+        let sample: Vec<_> = collection.efficiency_log.iter().take(COLD_SAMPLE).collect();
         let mut cold_total = Duration::ZERO;
         for q in &sample {
             cold_engine.buffers().evict_all();
-            let resp = cold_engine.search(q, spec.strategy, fetch_n).expect("search");
+            let resp = cold_engine
+                .search(q, spec.strategy, fetch_n)
+                .expect("search");
             cold_total += resp.cpu_time + resp.io.sim_time;
         }
         let cold_avg = cold_total / sample.len() as u32;

@@ -62,7 +62,10 @@ fn main() {
 
     // Cluster: measure real per-partition compute, then schedule.
     let cluster = SimulatedCluster::build(&collection, PARTITIONS, &IndexConfig::compressed());
-    eprintln!("measuring per-partition compute for {} queries ...", queries.len());
+    eprintln!(
+        "measuring per-partition compute for {} queries ...",
+        queries.len()
+    );
     let compute = cluster.measure_compute(&queries, STRATEGY, TOP_N);
 
     println!("Table 3 — performance of the distributed runs (measured vs paper)\n");

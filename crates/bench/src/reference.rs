@@ -16,11 +16,36 @@ pub struct Table1Row {
 
 /// Table 1 verbatim.
 pub const TABLE1: &[Table1Row] = &[
-    Table1Row { run: "MU05TBy3", p_at_20: 0.5550, cpus: 8, time_per_query_ms: 24.0 },
-    Table1Row { run: "uwmtEwteD10", p_at_20: 0.3900, cpus: 2, time_per_query_ms: 27.0 },
-    Table1Row { run: "MU05TBy1", p_at_20: 0.5620, cpus: 8, time_per_query_ms: 42.0 },
-    Table1Row { run: "zetdist", p_at_20: 0.5300, cpus: 8, time_per_query_ms: 58.0 },
-    Table1Row { run: "pisaEff4", p_at_20: 0.3420, cpus: 23, time_per_query_ms: 143.0 },
+    Table1Row {
+        run: "MU05TBy3",
+        p_at_20: 0.5550,
+        cpus: 8,
+        time_per_query_ms: 24.0,
+    },
+    Table1Row {
+        run: "uwmtEwteD10",
+        p_at_20: 0.3900,
+        cpus: 2,
+        time_per_query_ms: 27.0,
+    },
+    Table1Row {
+        run: "MU05TBy1",
+        p_at_20: 0.5620,
+        cpus: 8,
+        time_per_query_ms: 42.0,
+    },
+    Table1Row {
+        run: "zetdist",
+        p_at_20: 0.5300,
+        cpus: 8,
+        time_per_query_ms: 58.0,
+    },
+    Table1Row {
+        run: "pisaEff4",
+        p_at_20: 0.3420,
+        cpus: 23,
+        time_per_query_ms: 143.0,
+    },
 ];
 
 /// One row of Table 2 — "MonetDB/X100 TREC-TB Experiments".
@@ -34,13 +59,48 @@ pub struct Table2Row {
 
 /// Table 2 verbatim.
 pub const TABLE2: &[Table2Row] = &[
-    Table2Row { run: "BoolAND", p_at_20: 0.0130, cold_ms: 76.0, hot_ms: 12.0 },
-    Table2Row { run: "BoolOR", p_at_20: 0.0000, cold_ms: 133.0, hot_ms: 80.0 },
-    Table2Row { run: "BM25", p_at_20: 0.5460, cold_ms: 440.0, hot_ms: 342.0 },
-    Table2Row { run: "BM25T", p_at_20: 0.5470, cold_ms: 198.0, hot_ms: 72.0 },
-    Table2Row { run: "BM25TC", p_at_20: 0.5470, cold_ms: 158.0, hot_ms: 73.0 },
-    Table2Row { run: "BM25TCM", p_at_20: 0.5470, cold_ms: 155.0, hot_ms: 29.0 },
-    Table2Row { run: "BM25TCMQ8", p_at_20: 0.5490, cold_ms: 118.0, hot_ms: 28.0 },
+    Table2Row {
+        run: "BoolAND",
+        p_at_20: 0.0130,
+        cold_ms: 76.0,
+        hot_ms: 12.0,
+    },
+    Table2Row {
+        run: "BoolOR",
+        p_at_20: 0.0000,
+        cold_ms: 133.0,
+        hot_ms: 80.0,
+    },
+    Table2Row {
+        run: "BM25",
+        p_at_20: 0.5460,
+        cold_ms: 440.0,
+        hot_ms: 342.0,
+    },
+    Table2Row {
+        run: "BM25T",
+        p_at_20: 0.5470,
+        cold_ms: 198.0,
+        hot_ms: 72.0,
+    },
+    Table2Row {
+        run: "BM25TC",
+        p_at_20: 0.5470,
+        cold_ms: 158.0,
+        hot_ms: 73.0,
+    },
+    Table2Row {
+        run: "BM25TCM",
+        p_at_20: 0.5470,
+        cold_ms: 155.0,
+        hot_ms: 29.0,
+    },
+    Table2Row {
+        run: "BM25TCMQ8",
+        p_at_20: 0.5490,
+        cold_ms: 118.0,
+        hot_ms: 28.0,
+    },
 ];
 
 /// One row of Table 3's upper sections (server scaling, 1 stream).
@@ -59,10 +119,34 @@ pub const TABLE3_SEQUENTIAL_MS: f64 = 23.1;
 
 /// Server-scaling rows of Table 3.
 pub const TABLE3_SERVERS: &[Table3ServersRow] = &[
-    Table3ServersRow { servers: 8, avg_query_ms: 11.26, server_min_ms: 5.50, server_avg_ms: 6.39, server_max_ms: 11.00 },
-    Table3ServersRow { servers: 4, avg_query_ms: 9.21, server_min_ms: 5.92, server_avg_ms: 6.78, server_max_ms: 9.06 },
-    Table3ServersRow { servers: 2, avg_query_ms: 7.30, server_min_ms: 6.46, server_avg_ms: 6.83, server_max_ms: 7.20 },
-    Table3ServersRow { servers: 1, avg_query_ms: 7.41, server_min_ms: 7.34, server_avg_ms: 7.34, server_max_ms: 7.34 },
+    Table3ServersRow {
+        servers: 8,
+        avg_query_ms: 11.26,
+        server_min_ms: 5.50,
+        server_avg_ms: 6.39,
+        server_max_ms: 11.00,
+    },
+    Table3ServersRow {
+        servers: 4,
+        avg_query_ms: 9.21,
+        server_min_ms: 5.92,
+        server_avg_ms: 6.78,
+        server_max_ms: 9.06,
+    },
+    Table3ServersRow {
+        servers: 2,
+        avg_query_ms: 7.30,
+        server_min_ms: 6.46,
+        server_avg_ms: 6.83,
+        server_max_ms: 7.20,
+    },
+    Table3ServersRow {
+        servers: 1,
+        avg_query_ms: 7.41,
+        server_min_ms: 7.34,
+        server_avg_ms: 7.34,
+        server_max_ms: 7.34,
+    },
 ];
 
 /// One row of Table 3's stream-concurrency section (8 servers).
@@ -78,10 +162,38 @@ pub struct Table3StreamsRow {
 
 /// Stream-concurrency rows of Table 3 verbatim.
 pub const TABLE3_STREAMS: &[Table3StreamsRow] = &[
-    Table3StreamsRow { streams: 1, avg_query_ms: 11.24, amortized_ms: 11.26, server_min_ms: 5.50, server_avg_ms: 6.39, server_max_ms: 11.00 },
-    Table3StreamsRow { streams: 2, avg_query_ms: 9.61, amortized_ms: 4.86, server_min_ms: 5.56, server_avg_ms: 6.92, server_max_ms: 9.36 },
-    Table3StreamsRow { streams: 4, avg_query_ms: 14.30, amortized_ms: 3.64, server_min_ms: 5.81, server_avg_ms: 8.56, server_max_ms: 13.99 },
-    Table3StreamsRow { streams: 8, avg_query_ms: 25.46, amortized_ms: 3.26, server_min_ms: 6.21, server_avg_ms: 12.28, server_max_ms: 25.07 },
+    Table3StreamsRow {
+        streams: 1,
+        avg_query_ms: 11.24,
+        amortized_ms: 11.26,
+        server_min_ms: 5.50,
+        server_avg_ms: 6.39,
+        server_max_ms: 11.00,
+    },
+    Table3StreamsRow {
+        streams: 2,
+        avg_query_ms: 9.61,
+        amortized_ms: 4.86,
+        server_min_ms: 5.56,
+        server_avg_ms: 6.92,
+        server_max_ms: 9.36,
+    },
+    Table3StreamsRow {
+        streams: 4,
+        avg_query_ms: 14.30,
+        amortized_ms: 3.64,
+        server_min_ms: 5.81,
+        server_avg_ms: 8.56,
+        server_max_ms: 13.99,
+    },
+    Table3StreamsRow {
+        streams: 8,
+        avg_query_ms: 25.46,
+        amortized_ms: 3.26,
+        server_min_ms: 6.21,
+        server_avg_ms: 12.28,
+        server_max_ms: 25.07,
+    },
 ];
 
 /// §3.3's compression accounting: bits per tuple before/after.
@@ -108,7 +220,9 @@ mod tests {
 
     #[test]
     fn table3_amortized_improves_with_streams() {
-        assert!(TABLE3_STREAMS.windows(2).all(|w| w[1].amortized_ms < w[0].amortized_ms));
+        assert!(TABLE3_STREAMS
+            .windows(2)
+            .all(|w| w[1].amortized_ms < w[0].amortized_ms));
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub fn packed_len(n: usize, b: u8) -> usize {
 /// # Panics
 /// Panics if `b == 0` or `b > MAX_WIDTH`.
 pub fn pack(values: &[u32], b: u8) -> Vec<u64> {
-    assert!((1..=MAX_WIDTH).contains(&b), "bit width {b} out of range 1..=32");
+    assert!(
+        (1..=MAX_WIDTH).contains(&b),
+        "bit width {b} out of range 1..=32"
+    );
     let mut buf = vec![0u64; packed_len(values.len(), b)];
     let mask = mask(b);
     for (i, &v) in values.iter().enumerate() {
@@ -60,7 +63,10 @@ pub fn pack(values: &[u32], b: u8) -> Vec<u64> {
 /// Panics if `buf` is shorter than [`packed_len`]`(n, b)` or `b` is out of
 /// range.
 pub fn unpack(buf: &[u64], n: usize, b: u8, out: &mut Vec<u32>) {
-    assert!((1..=MAX_WIDTH).contains(&b), "bit width {b} out of range 1..=32");
+    assert!(
+        (1..=MAX_WIDTH).contains(&b),
+        "bit width {b} out of range 1..=32"
+    );
     assert!(
         buf.len() >= packed_len(n, b),
         "packed buffer too short: {} < {}",
@@ -85,7 +91,10 @@ pub fn unpack(buf: &[u64], n: usize, b: u8, out: &mut Vec<u32>) {
 /// (cleared first). Range decoding at entry-point granularity uses this to
 /// avoid touching the whole code section.
 pub fn unpack_range(buf: &[u64], start: usize, len: usize, b: u8, out: &mut Vec<u32>) {
-    assert!((1..=MAX_WIDTH).contains(&b), "bit width {b} out of range 1..=32");
+    assert!(
+        (1..=MAX_WIDTH).contains(&b),
+        "bit width {b} out of range 1..=32"
+    );
     assert!(
         buf.len() >= packed_len(start + len, b),
         "packed buffer too short for range end {}",
@@ -135,13 +144,18 @@ mod tests {
         let packed = pack(values, b);
         let mut out = Vec::new();
         unpack(&packed, values.len(), b, &mut out);
-        let expect: Vec<u32> = values.iter().map(|&v| (u64::from(v) & mask(b)) as u32).collect();
+        let expect: Vec<u32> = values
+            .iter()
+            .map(|&v| (u64::from(v) & mask(b)) as u32)
+            .collect();
         assert_eq!(out, expect, "width {b}");
     }
 
     #[test]
     fn roundtrip_every_width() {
-        let values: Vec<u32> = (0..300u32).map(|i| i.wrapping_mul(2654435761) % 97).collect();
+        let values: Vec<u32> = (0..300u32)
+            .map(|i| i.wrapping_mul(2654435761) % 97)
+            .collect();
         for b in 1..=32u8 {
             roundtrip(&values, b);
         }

@@ -113,10 +113,34 @@ mod tests {
         let excs = vec![5u32, 130, 200, 300];
         let eps = build_entry_points(400, &excs);
         assert_eq!(eps.len(), 4);
-        assert_eq!(eps[0], EntryPoint { next_exception: 5, exception_rank: 0 });
-        assert_eq!(eps[1], EntryPoint { next_exception: 130, exception_rank: 1 });
-        assert_eq!(eps[2], EntryPoint { next_exception: 300, exception_rank: 3 });
-        assert_eq!(eps[3], EntryPoint { next_exception: NO_EXCEPTION, exception_rank: 4 });
+        assert_eq!(
+            eps[0],
+            EntryPoint {
+                next_exception: 5,
+                exception_rank: 0
+            }
+        );
+        assert_eq!(
+            eps[1],
+            EntryPoint {
+                next_exception: 130,
+                exception_rank: 1
+            }
+        );
+        assert_eq!(
+            eps[2],
+            EntryPoint {
+                next_exception: 300,
+                exception_rank: 3
+            }
+        );
+        assert_eq!(
+            eps[3],
+            EntryPoint {
+                next_exception: NO_EXCEPTION,
+                exception_rank: 4
+            }
+        );
     }
 
     #[test]

@@ -259,9 +259,10 @@ impl PforBlock {
                 stride: ENTRY_POINT_STRIDE,
             });
         }
-        let end = start
-            .checked_add(len)
-            .ok_or(CodecError::OutOfBounds { position: usize::MAX, len: self.n as usize })?;
+        let end = start.checked_add(len).ok_or(CodecError::OutOfBounds {
+            position: usize::MAX,
+            len: self.n as usize,
+        })?;
         if end > self.n as usize {
             return Err(CodecError::OutOfBounds {
                 position: end,

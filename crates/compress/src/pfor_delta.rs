@@ -47,11 +47,7 @@ impl PforDeltaBlock {
 
     fn from_deltas(values: &[u32], deltas: &[u32], b: u8, base: u32) -> Self {
         let inner = PforBlock::encode(deltas, b, base);
-        let restarts = values
-            .iter()
-            .step_by(ENTRY_POINT_STRIDE)
-            .copied()
-            .collect();
+        let restarts = values.iter().step_by(ENTRY_POINT_STRIDE).copied().collect();
         PforDeltaBlock { inner, restarts }
     }
 
@@ -182,7 +178,9 @@ mod tests {
 
     #[test]
     fn roundtrip_empty_and_single() {
-        assert!(PforDeltaBlock::encode_with_width(&[], 8).decode().is_empty());
+        assert!(PforDeltaBlock::encode_with_width(&[], 8)
+            .decode()
+            .is_empty());
         assert_eq!(
             PforDeltaBlock::encode_with_width(&[42], 8).decode(),
             vec![42]

@@ -8,8 +8,7 @@
 
 use proptest::prelude::*;
 use x100_compress::{
-    Codec, CompressedBlock, NaiveBlock, PdictBlock, PforBlock, PforDeltaBlock,
-    ENTRY_POINT_STRIDE,
+    Codec, CompressedBlock, NaiveBlock, PdictBlock, PforBlock, PforDeltaBlock, ENTRY_POINT_STRIDE,
 };
 
 /// Value distributions that stress different codec paths: uniform small
@@ -19,7 +18,12 @@ fn value_vec() -> impl Strategy<Value = Vec<u32>> {
         prop::collection::vec(0u32..256, 0..2000),
         prop::collection::vec(any::<u32>(), 0..600),
         prop::collection::vec(
-            prop_oneof![Just(5u32), Just(17u32), 1_000_000u32..1_000_100, any::<u32>()],
+            prop_oneof![
+                Just(5u32),
+                Just(17u32),
+                1_000_000u32..1_000_100,
+                any::<u32>()
+            ],
             0..1500
         ),
     ]

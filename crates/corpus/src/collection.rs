@@ -283,9 +283,10 @@ mod tests {
             assert!(!d.terms.is_empty());
             // Terms sorted, distinct, in-vocabulary, tf >= 1.
             assert!(d.terms.windows(2).all(|w| w[0].0 < w[1].0));
-            assert!(d.terms.iter().all(|&(t, tf)| {
-                (t as usize) < c.config.vocab_size && tf >= 1
-            }));
+            assert!(d
+                .terms
+                .iter()
+                .all(|&(t, tf)| { (t as usize) < c.config.vocab_size && tf >= 1 }));
             assert_eq!(d.len, d.terms.iter().map(|&(_, tf)| tf).sum::<u32>());
         }
     }
@@ -307,7 +308,10 @@ mod tests {
         let head = c.document_frequency(0);
         let tail = c.document_frequency((c.config.vocab_size - 1) as u32);
         assert!(head > tail, "head df {head} vs tail df {tail}");
-        assert!(head > c.docs.len() / 2, "rank-0 term should be near-universal");
+        assert!(
+            head > c.docs.len() / 2,
+            "rank-0 term should be near-universal"
+        );
     }
 
     #[test]

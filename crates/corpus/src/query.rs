@@ -77,7 +77,10 @@ pub fn sample_query_terms(
     vocab_size: usize,
     rng: &mut impl Rng,
 ) -> Vec<u32> {
-    let band_size = config.band_size.min(vocab_size.saturating_sub(config.head_skip)).max(1);
+    let band_size = config
+        .band_size
+        .min(vocab_size.saturating_sub(config.head_skip))
+        .max(1);
     let head_skip = config.head_skip.min(vocab_size - 1);
     let zipf = ZipfSampler::new(band_size, config.band_exponent);
 

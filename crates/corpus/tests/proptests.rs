@@ -7,13 +7,13 @@ use x100_corpus::{precision_at_k, CollectionConfig, QueryLogConfig, SyntheticCol
 
 fn small_config() -> impl Strategy<Value = CollectionConfig> {
     (
-        10usize..200,   // num_docs
-        20usize..300,   // vocab_size
-        8usize..80,     // avg_doc_len
-        1usize..6,      // num_eval_queries
-        1usize..8,      // relevant_per_query
-        any::<u64>(),   // seed
-        0.0f64..0.4,    // tail_prob
+        10usize..200, // num_docs
+        20usize..300, // vocab_size
+        8usize..80,   // avg_doc_len
+        1usize..6,    // num_eval_queries
+        1usize..8,    // relevant_per_query
+        any::<u64>(), // seed
+        0.0f64..0.4,  // tail_prob
     )
         .prop_map(
             |(num_docs, vocab_size, avg_doc_len, evals, relevant, seed, tail_prob)| {

@@ -69,19 +69,24 @@ impl SimulatedCluster {
         let partitions = partition_collection(collection, num_partitions);
         let nodes = partitions
             .into_iter()
-            .map(|Partition { collection, global_ids }| {
-                let index = InvertedIndex::build(&collection, index_config);
-                let buffers = Arc::new(BufferManager::with_mode(
-                    DiskModel::instant(), // index held in RAM (§3.4)
-                    BufferMode::Hot,
-                    0,
-                ));
-                Node {
-                    index,
-                    global_ids,
-                    buffers,
-                }
-            })
+            .map(
+                |Partition {
+                     collection,
+                     global_ids,
+                 }| {
+                    let index = InvertedIndex::build(&collection, index_config);
+                    let buffers = Arc::new(BufferManager::with_mode(
+                        DiskModel::instant(), // index held in RAM (§3.4)
+                        BufferMode::Hot,
+                        0,
+                    ));
+                    Node {
+                        index,
+                        global_ids,
+                        buffers,
+                    }
+                },
+            )
             .collect();
         SimulatedCluster { nodes }
     }
@@ -100,12 +105,7 @@ impl SimulatedCluster {
     ///
     /// Ties on score order by global docid, matching the single-node
     /// engine's earlier-row preference.
-    pub fn search(
-        &self,
-        terms: &[u32],
-        strategy: SearchStrategy,
-        n: usize,
-    ) -> Vec<MergedResult> {
+    pub fn search(&self, terms: &[u32], strategy: SearchStrategy, n: usize) -> Vec<MergedResult> {
         let mut merged: Vec<MergedResult> = Vec::with_capacity(self.nodes.len() * n);
         for (ni, node) in self.nodes.iter().enumerate() {
             let engine = node.engine();
@@ -138,12 +138,12 @@ impl SimulatedCluster {
     ) -> Vec<Vec<Duration>> {
         let num_nodes = self.nodes.len();
         let mut per_node: Vec<Vec<Duration>> = Vec::with_capacity(num_nodes);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
                 .map(|node| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let engine = node.engine();
                         // Warm the node once so measurements reflect the
                         // paper's hot-data condition.
@@ -165,8 +165,7 @@ impl SimulatedCluster {
             for h in handles {
                 per_node.push(h.join().expect("measurement thread panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         // Transpose to per-query rows: compute[q][node].
         let num_q = queries.len();
         (0..num_q)

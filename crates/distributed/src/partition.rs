@@ -115,7 +115,11 @@ mod tests {
         let parts = partition_collection(&c, 1);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].collection.docs.len(), c.docs.len());
-        assert!(parts[0].global_ids.iter().enumerate().all(|(i, &g)| i as u32 == g));
+        assert!(parts[0]
+            .global_ids
+            .iter()
+            .enumerate()
+            .all(|(i, &g)| i as u32 == g));
     }
 
     #[test]
@@ -125,7 +129,10 @@ mod tests {
         cfg.relevant_per_query = 2;
         let c = SyntheticCollection::generate(&cfg);
         let parts = partition_collection(&c, 8);
-        let nonempty = parts.iter().filter(|p| !p.collection.docs.is_empty()).count();
+        let nonempty = parts
+            .iter()
+            .filter(|p| !p.collection.docs.is_empty())
+            .count();
         assert_eq!(nonempty, 3);
     }
 

@@ -124,7 +124,10 @@ pub struct RunStats {
 /// zero servers/streams.
 pub fn simulate_run(compute: &[Vec<Duration>], cfg: &RunConfig) -> RunStats {
     assert!(!compute.is_empty(), "no queries to simulate");
-    assert!(cfg.num_servers > 0 && cfg.num_streams > 0, "degenerate config");
+    assert!(
+        cfg.num_servers > 0 && cfg.num_streams > 0,
+        "degenerate config"
+    );
     let num_partitions = compute[0].len();
     assert!(
         compute.iter().all(|r| r.len() == num_partitions),

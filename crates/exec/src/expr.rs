@@ -193,11 +193,7 @@ impl Expr {
             Expr::Max(a, b) => {
                 let (va, vb) = (a.eval(batch)?, b.eval(batch)?);
                 let mut out = Vec::new();
-                prim::map_max_i32_col_i32_col(
-                    as_i32(&va)?,
-                    as_i32(&vb)?,
-                    &mut out,
-                );
+                prim::map_max_i32_col_i32_col(as_i32(&va)?, as_i32(&vb)?, &mut out);
                 Ok(Vector::from_data(VectorData::I32(out)))
             }
             Expr::Log(a) => {
@@ -486,10 +482,7 @@ mod tests {
     #[test]
     fn bad_column_index_is_plan_error() {
         let b = batch();
-        assert!(matches!(
-            Expr::col_i32(9).eval(&b),
-            Err(ExecError::Plan(_))
-        ));
+        assert!(matches!(Expr::col_i32(9).eval(&b), Err(ExecError::Plan(_))));
     }
 
     #[test]
@@ -499,7 +492,10 @@ mod tests {
             Expr::add(Expr::col_f32(0), Expr::col_f32(1)).output_type(),
             ValueType::F32
         );
-        assert_eq!(Expr::cast_f32(Expr::col_i32(0)).output_type(), ValueType::F32);
+        assert_eq!(
+            Expr::cast_f32(Expr::col_i32(0)).output_type(),
+            ValueType::F32
+        );
     }
 
     #[test]

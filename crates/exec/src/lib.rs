@@ -168,6 +168,8 @@ mod tests {
         assert!(e.to_string().contains("bad column"));
         let e: ExecError = x100_storage::StorageError::UnknownColumn("x".into()).into();
         assert!(std::error::Error::source(&e).is_some());
-        assert!(ExecError::Protocol("next before open").to_string().contains("protocol"));
+        assert!(ExecError::Protocol("next before open")
+            .to_string()
+            .contains("protocol"));
     }
 }

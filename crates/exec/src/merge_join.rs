@@ -262,7 +262,14 @@ impl<'a> MergeJoin<'a> {
         vector_size: usize,
     ) -> Result<Self, ExecError> {
         Ok(MergeJoin {
-            core: MergeJoinCore::new(left, right, left_key, right_key, JoinKind::Inner, vector_size)?,
+            core: MergeJoinCore::new(
+                left,
+                right,
+                left_key,
+                right_key,
+                JoinKind::Inner,
+                vector_size,
+            )?,
         })
     }
 }
@@ -354,7 +361,11 @@ mod tests {
         let mut rows = Vec::new();
         for b in batches {
             for r in 0..b.num_rows() {
-                rows.push((0..b.num_columns()).map(|c| b.column(c).as_i32()[r]).collect());
+                rows.push(
+                    (0..b.num_columns())
+                        .map(|c| b.column(c).as_i32()[r])
+                        .collect(),
+                );
             }
         }
         rows
@@ -377,11 +388,7 @@ mod tests {
         let rows = rows_of(&collect_batches(join).unwrap());
         assert_eq!(
             rows,
-            vec![
-                vec![1, 10, 0, 0],
-                vec![0, 0, 2, 5],
-                vec![3, 30, 3, 7],
-            ]
+            vec![vec![1, 10, 0, 0], vec![0, 0, 2, 5], vec![3, 30, 3, 7],]
         );
     }
 
@@ -393,7 +400,8 @@ mod tests {
 
     #[test]
     fn outer_join_empty_side_passes_other_through() {
-        let join = MergeOuterJoin::new(postings(&[]), postings(&[(1, 1), (2, 2)]), 0, 0, 64).unwrap();
+        let join =
+            MergeOuterJoin::new(postings(&[]), postings(&[(1, 1), (2, 2)]), 0, 0, 64).unwrap();
         let rows = rows_of(&collect_batches(join).unwrap());
         assert_eq!(rows, vec![vec![0, 0, 1, 1], vec![0, 0, 2, 2]]);
     }
@@ -459,10 +467,7 @@ mod protocol_tests {
     use crate::mem::MemSource;
 
     fn empty_src() -> Box<dyn Operator> {
-        Box::new(MemSource::new(
-            vec![],
-            vec![ValueType::I32, ValueType::I32],
-        ))
+        Box::new(MemSource::new(vec![], vec![ValueType::I32, ValueType::I32]))
     }
 
     #[test]
@@ -497,9 +502,9 @@ mod protocol_tests {
 
     #[test]
     fn non_i32_inputs_rejected_at_build() {
-        let floats = Box::new(MemSource::from_batch(Batch::new(vec![
-            Vector::from_f32(&[1.0]),
-        ])));
+        let floats = Box::new(MemSource::from_batch(Batch::new(vec![Vector::from_f32(
+            &[1.0],
+        )])));
         assert!(MergeJoin::new(floats, empty_src(), 0, 0, 8).is_err());
     }
 

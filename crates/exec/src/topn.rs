@@ -98,7 +98,8 @@ impl<'a> TopN<'a> {
     }
 
     fn drain(&mut self) -> Result<(), ExecError> {
-        let mut heap: BinaryHeap<std::cmp::Reverse<HeapRow>> = BinaryHeap::with_capacity(self.n + 1);
+        let mut heap: BinaryHeap<std::cmp::Reverse<HeapRow>> =
+            BinaryHeap::with_capacity(self.n + 1);
         let mut seq = 0u64;
         while let Some(mut batch) = self.input.next()? {
             batch.compact();
@@ -231,13 +232,7 @@ mod tests {
 
     #[test]
     fn keeps_best_n_descending() {
-        let op = TopN::new(
-            src(&[1, 2, 3, 4, 5], &[0.5, 2.0, 1.0, 9.0, 0.1]),
-            1,
-            3,
-            16,
-        )
-        .unwrap();
+        let op = TopN::new(src(&[1, 2, 3, 4, 5], &[0.5, 2.0, 1.0, 9.0, 0.1]), 1, 3, 16).unwrap();
         assert_eq!(top_rows(op), vec![(4, 9.0), (2, 2.0), (3, 1.0)]);
     }
 

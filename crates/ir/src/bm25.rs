@@ -142,10 +142,7 @@ mod tests {
 
     #[test]
     fn weight_zero_for_absent_term() {
-        assert_eq!(
-            term_weight(Bm25Params::default(), STATS, 10, 0, 100),
-            0.0
-        );
+        assert_eq!(term_weight(Bm25Params::default(), STATS, 10, 0, 100), 0.0);
     }
 
     #[test]

@@ -389,9 +389,7 @@ impl<'a> QueryEngine<'a> {
             // payload is stored bit-cast; for quantized it is a small code.
             let decode = |col: usize| match self.index.config().materialize {
                 Materialize::F32 => Expr::f32_from_bits(Expr::col_i32(col)),
-                Materialize::Quantized8 | Materialize::None => {
-                    Expr::cast_f32(Expr::col_i32(col))
-                }
+                Materialize::Quantized8 | Materialize::None => Expr::cast_f32(Expr::col_i32(col)),
             };
             let mut score = decode(1);
             for t in 1..terms.len() {
@@ -509,9 +507,9 @@ impl<'a> QueryEngine<'a> {
             BooleanQuery::And(parts) | BooleanQuery::Or(parts) => {
                 let conjunctive = matches!(query, BooleanQuery::And(_));
                 let mut iter = parts.iter();
-                let first = iter.next().ok_or_else(|| {
-                    ExecError::Plan("empty boolean AND/OR node".into())
-                })?;
+                let first = iter
+                    .next()
+                    .ok_or_else(|| ExecError::Plan("empty boolean AND/OR node".into()))?;
                 let mut plan = self.boolean_plan(first)?;
                 for part in iter {
                     let right = self.boolean_plan(part)?;
@@ -734,7 +732,9 @@ mod tests {
         let raw_engine = QueryEngine::new(&raw_idx);
         let comp_engine = QueryEngine::new(&comp_idx);
         let a = raw_engine.search(&terms, SearchStrategy::Bm25, 20).unwrap();
-        let b = comp_engine.search(&terms, SearchStrategy::Bm25, 20).unwrap();
+        let b = comp_engine
+            .search(&terms, SearchStrategy::Bm25, 20)
+            .unwrap();
         assert_eq!(a.results, b.results);
     }
 
@@ -743,7 +743,9 @@ mod tests {
         let (c, idx) = setup(IndexConfig::uncompressed());
         let engine = QueryEngine::new(&idx);
         let terms = pick_terms(&c, &idx);
-        let resp = engine.search(&terms, SearchStrategy::BoolAnd, 1000).unwrap();
+        let resp = engine
+            .search(&terms, SearchStrategy::BoolAnd, 1000)
+            .unwrap();
         for r in &resp.results {
             let doc = &c.docs[r.docid as usize];
             for &t in &terms {
@@ -772,7 +774,9 @@ mod tests {
         let (c, idx) = setup(IndexConfig::uncompressed());
         let engine = QueryEngine::new(&idx);
         let terms = pick_terms(&c, &idx);
-        let resp = engine.search(&terms, SearchStrategy::BoolOr, 100_000).unwrap();
+        let resp = engine
+            .search(&terms, SearchStrategy::BoolOr, 100_000)
+            .unwrap();
         let expected = c
             .docs
             .iter()
@@ -791,7 +795,9 @@ mod tests {
         let engine = QueryEngine::new(&idx);
         for q in &c.eval_queries {
             let single = engine.search(&q.terms, SearchStrategy::Bm25, 5).unwrap();
-            let two = engine.search(&q.terms, SearchStrategy::Bm25TwoPass, 5).unwrap();
+            let two = engine
+                .search(&q.terms, SearchStrategy::Bm25TwoPass, 5)
+                .unwrap();
             // When the first pass fills the quota its results may differ in
             // membership only if a doc missing one term outranks conjunctive
             // matches — the paper accepts this approximation. Here we check

@@ -23,8 +23,8 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use x100_compress::Codec;
-use x100_storage::{Column, ColumnBuilder, StringColumn, Table};
 use x100_corpus::SyntheticCollection;
+use x100_storage::{Column, ColumnBuilder, StringColumn, Table};
 
 use crate::bm25::{term_weight, Bm25Params, CollectionStats, Quantizer};
 
@@ -156,9 +156,8 @@ impl InvertedIndex {
             }
         }
 
-        let doc_lens: Arc<Vec<i32>> = Arc::new(
-            collection.docs.iter().map(|d| d.len as i32).collect(),
-        );
+        let doc_lens: Arc<Vec<i32>> =
+            Arc::new(collection.docs.iter().map(|d| d.len as i32).collect());
         let avg_doc_len = if num_docs == 0 {
             1.0
         } else {
@@ -176,7 +175,12 @@ impl InvertedIndex {
             (Codec::Raw, Codec::Raw)
         };
         let mut td = Table::new("TD");
-        td.add_column(build_column("docid", docid_codec, &docid_col, config.block_size));
+        td.add_column(build_column(
+            "docid",
+            docid_codec,
+            &docid_col,
+            config.block_size,
+        ));
         td.add_column(build_column("tf", tf_codec, &tf_col, config.block_size));
 
         // Optional score materialization (§3.3): ω is query-independent
@@ -195,14 +199,12 @@ impl InvertedIndex {
             };
             match config.materialize {
                 Materialize::F32 => {
-                    let bits: Vec<u32> = (0..total_postings)
-                        .map(|i| weights(i).to_bits())
-                        .collect();
+                    let bits: Vec<u32> =
+                        (0..total_postings).map(|i| weights(i).to_bits()).collect();
                     td.add_column(build_column("score", Codec::Raw, &bits, config.block_size));
                 }
                 Materialize::Quantized8 => {
-                    let qz =
-                        Quantizer::fit((0..total_postings).map(weights), 256);
+                    let qz = Quantizer::fit((0..total_postings).map(weights), 256);
                     let codes: Vec<u32> =
                         (0..total_postings).map(|i| qz.encode(weights(i))).collect();
                     td.add_column(build_column(
@@ -254,10 +256,7 @@ impl InvertedIndex {
 
     /// TD row range of a term's posting list (empty for unseen terms).
     pub fn term_range(&self, term: u32) -> Range<usize> {
-        self.term_ranges
-            .get(term as usize)
-            .cloned()
-            .unwrap_or(0..0)
+        self.term_ranges.get(term as usize).cloned().unwrap_or(0..0)
     }
 
     /// Resolves a term string to its id.

@@ -341,8 +341,7 @@ mod tests {
             .unwrap();
 
         let bm_skip = BufferManager::with_mode(DiskModel::raid12(), BufferMode::Hot, 0);
-        let skip =
-            intersect_skipping(&idx, &bm_skip, &[rare, common], usize::MAX).unwrap();
+        let skip = intersect_skipping(&idx, &bm_skip, &[rare, common], usize::MAX).unwrap();
 
         let engine = QueryEngine::new(&idx);
         let joined = engine
@@ -392,11 +391,19 @@ mod engine_integration_tests {
                 .collect();
             assert_eq!(a, b, "terms {:?}", q.terms);
             for (x, y) in relational.results.iter().zip(&skipping.results) {
-                assert!((x.score - y.score).abs() < 1e-3, "{} vs {}", x.score, y.score);
+                assert!(
+                    (x.score - y.score).abs() < 1e-3,
+                    "{} vs {}",
+                    x.score,
+                    y.score
+                );
             }
             compared += 1;
         }
-        assert!(compared > 0, "fixture must exercise at least one 1-pass query");
+        assert!(
+            compared > 0,
+            "fixture must exercise at least one 1-pass query"
+        );
     }
 
     #[test]
@@ -404,7 +411,11 @@ mod engine_integration_tests {
         let c = SyntheticCollection::generate(&CollectionConfig::tiny());
         let idx = InvertedIndex::build(&c, &IndexConfig::compressed());
         let engine = QueryEngine::new(&idx);
-        assert!(engine.search_conjunctive_skipping(&[], 10).unwrap().results.is_empty());
+        assert!(engine
+            .search_conjunctive_skipping(&[], 10)
+            .unwrap()
+            .results
+            .is_empty());
         assert!(engine
             .search_conjunctive_skipping(&[9_999_999], 10)
             .unwrap()

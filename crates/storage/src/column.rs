@@ -168,7 +168,10 @@ impl Column {
 
     /// Total compressed size in bytes.
     pub fn compressed_bytes(&self) -> usize {
-        self.blocks.iter().map(CompressedBlock::compressed_bytes).sum()
+        self.blocks
+            .iter()
+            .map(CompressedBlock::compressed_bytes)
+            .sum()
     }
 
     /// Uncompressed size in bytes (4 bytes per value).
@@ -285,8 +288,7 @@ mod tests {
     #[test]
     fn builder_splits_into_blocks() {
         let col = {
-            let mut b =
-                ColumnBuilder::with_block_size("c", Codec::Pfor { width: 8 }, 256);
+            let mut b = ColumnBuilder::with_block_size("c", Codec::Pfor { width: 8 }, 256);
             b.extend(&values(1000));
             b.finish()
         };
@@ -306,8 +308,7 @@ mod tests {
     fn read_range_spans_blocks() {
         let data = values(1000);
         let col = {
-            let mut b =
-                ColumnBuilder::with_block_size("c", Codec::PforDelta { width: 8 }, 256);
+            let mut b = ColumnBuilder::with_block_size("c", Codec::PforDelta { width: 8 }, 256);
             b.extend(&data);
             b.finish()
         };

@@ -53,7 +53,10 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::OutOfBounds { position, len } => {
-                write!(f, "position {position} out of bounds for column of length {len}")
+                write!(
+                    f,
+                    "position {position} out of bounds for column of length {len}"
+                )
             }
             StorageError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
             StorageError::Codec(e) => write!(f, "codec error: {e}"),
@@ -84,7 +87,10 @@ mod tests {
     fn error_display() {
         let e = StorageError::UnknownColumn("tf".into());
         assert!(e.to_string().contains("tf"));
-        let e = StorageError::OutOfBounds { position: 9, len: 3 };
+        let e = StorageError::OutOfBounds {
+            position: 9,
+            len: 3,
+        };
         assert!(e.to_string().contains('9'));
     }
 

@@ -191,7 +191,10 @@ impl Vector {
     pub fn as_u8(&self) -> &[u8] {
         match &self.data {
             VectorData::U8(v) => v,
-            other => panic!("vector type mismatch: expected u8, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected u8, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -200,7 +203,10 @@ impl Vector {
     pub fn as_i32(&self) -> &[i32] {
         match &self.data {
             VectorData::I32(v) => v,
-            other => panic!("vector type mismatch: expected i32, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected i32, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -209,7 +215,10 @@ impl Vector {
     pub fn as_i64(&self) -> &[i64] {
         match &self.data {
             VectorData::I64(v) => v,
-            other => panic!("vector type mismatch: expected i64, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected i64, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -218,7 +227,10 @@ impl Vector {
     pub fn as_f32(&self) -> &[f32] {
         match &self.data {
             VectorData::F32(v) => v,
-            other => panic!("vector type mismatch: expected f32, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected f32, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -227,7 +239,10 @@ impl Vector {
     pub fn as_f64(&self) -> &[f64] {
         match &self.data {
             VectorData::F64(v) => v,
-            other => panic!("vector type mismatch: expected f64, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected f64, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -236,7 +251,10 @@ impl Vector {
     pub fn as_str_slice(&self) -> &[String] {
         match &self.data {
             VectorData::Str(v) => v,
-            other => panic!("vector type mismatch: expected str, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected str, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -245,7 +263,10 @@ impl Vector {
     pub fn as_u8_mut(&mut self) -> &mut Vec<u8> {
         match &mut self.data {
             VectorData::U8(v) => v,
-            other => panic!("vector type mismatch: expected u8, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected u8, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -254,7 +275,10 @@ impl Vector {
     pub fn as_i32_mut(&mut self) -> &mut Vec<i32> {
         match &mut self.data {
             VectorData::I32(v) => v,
-            other => panic!("vector type mismatch: expected i32, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected i32, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -263,7 +287,10 @@ impl Vector {
     pub fn as_i64_mut(&mut self) -> &mut Vec<i64> {
         match &mut self.data {
             VectorData::I64(v) => v,
-            other => panic!("vector type mismatch: expected i64, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected i64, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -272,7 +299,10 @@ impl Vector {
     pub fn as_f32_mut(&mut self) -> &mut Vec<f32> {
         match &mut self.data {
             VectorData::F32(v) => v,
-            other => panic!("vector type mismatch: expected f32, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected f32, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -281,7 +311,10 @@ impl Vector {
     pub fn as_f64_mut(&mut self) -> &mut Vec<f64> {
         match &mut self.data {
             VectorData::F64(v) => v,
-            other => panic!("vector type mismatch: expected f64, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected f64, got {}",
+                other.value_type()
+            ),
         }
     }
 
@@ -290,7 +323,10 @@ impl Vector {
     pub fn as_str_mut(&mut self) -> &mut Vec<String> {
         match &mut self.data {
             VectorData::Str(v) => v,
-            other => panic!("vector type mismatch: expected str, got {}", other.value_type()),
+            other => panic!(
+                "vector type mismatch: expected str, got {}",
+                other.value_type()
+            ),
         }
     }
 

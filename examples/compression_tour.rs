@@ -53,10 +53,12 @@ fn main() {
     println!("  the patched decoder has no data-dependent branch at all");
 
     // --- PFOR-DELTA on a sorted docid list --------------------------------
-    let docids: Vec<u32> = (0..50_000u32).scan(0u32, |acc, i| {
-        *acc += 1 + (i % 9);
-        Some(*acc)
-    }).collect();
+    let docids: Vec<u32> = (0..50_000u32)
+        .scan(0u32, |acc, i| {
+            *acc += 1 + (i % 9);
+            Some(*acc)
+        })
+        .collect();
     let delta = PforDeltaBlock::encode_with_width(&docids, 8);
     println!(
         "\nPFOR-DELTA over a {}-entry posting list: {:.2} bits/value ({}x vs raw 32)",
@@ -67,10 +69,12 @@ fn main() {
     assert_eq!(delta.decode(), docids);
 
     // --- PDICT on skewed values -------------------------------------------
-    let skewed: Vec<u32> = (0..50_000u32).map(|i| {
-        let h = i.wrapping_mul(0x9E3779B9);
-        [7u32, 7, 7, 7, 42, 42, 9000, h % 100_000][h as usize % 8]
-    }).collect();
+    let skewed: Vec<u32> = (0..50_000u32)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E3779B9);
+            [7u32, 7, 7, 7, 42, 42, 9000, h % 100_000][h as usize % 8]
+        })
+        .collect();
     let dict = PdictBlock::encode(&skewed, 8);
     println!(
         "PDICT over skewed data: {:.2} bits/value, {:.1}% exceptions",

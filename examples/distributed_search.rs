@@ -34,7 +34,9 @@ fn main() {
 
     let index = InvertedIndex::build(&collection, &IndexConfig::compressed());
     let engine = QueryEngine::new(&index);
-    let single = engine.search(&q.terms, SearchStrategy::Bm25, 10).expect("search");
+    let single = engine
+        .search(&q.terms, SearchStrategy::Bm25, 10)
+        .expect("search");
     let overlap = merged
         .iter()
         .filter(|m| single.results.iter().any(|s| s.docid == m.docid))
@@ -46,7 +48,12 @@ fn main() {
 
     // Timing: measure real per-partition compute, then replay through the
     // network/queueing model at different cluster shapes.
-    let queries: Vec<Vec<u32>> = collection.efficiency_log.iter().take(100).cloned().collect();
+    let queries: Vec<Vec<u32>> = collection
+        .efficiency_log
+        .iter()
+        .take(100)
+        .cloned()
+        .collect();
     let compute = cluster.measure_compute(&queries, SearchStrategy::Bm25, 20);
 
     println!("\nserver scaling (1 stream):           streams at 8 servers:");

@@ -37,10 +37,7 @@ fn main() {
     let terms = ["term12", "term31"];
     println!("\nquery: {terms:?}");
     println!("\nrelational plan (as in the paper, §3.2):");
-    println!(
-        "{}",
-        engine.plan_text(&terms, SearchStrategy::Bm25, 10)
-    );
+    println!("{}", engine.plan_text(&terms, SearchStrategy::Bm25, 10));
 
     let results = engine.search_terms(&terms, SearchStrategy::Bm25, 10);
     println!("\ntop {} documents:", results.len());

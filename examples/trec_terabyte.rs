@@ -35,7 +35,11 @@ fn main() {
         ("BM25T", &raw, SearchStrategy::Bm25TwoPass),
         ("BM25TC", &compressed, SearchStrategy::Bm25TwoPass),
         ("BM25TCM", &mat, SearchStrategy::Bm25MaterializedTwoPass),
-        ("BM25TCMQ8", &mat_q8, SearchStrategy::Bm25MaterializedTwoPass),
+        (
+            "BM25TCMQ8",
+            &mat_q8,
+            SearchStrategy::Bm25MaterializedTwoPass,
+        ),
     ];
 
     println!("\n{:<10} {:>8} {:>12}", "run", "p@20", "hot ms/query");

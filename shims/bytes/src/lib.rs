@@ -1,0 +1,209 @@
+//! Offline stand-in for the subset of the [`bytes` 1.x](https://docs.rs/bytes)
+//! API this workspace uses: `Bytes`, `BytesMut`, and the little-endian
+//! cursor methods of `Buf` (for `&[u8]`) / `BufMut` (for `BytesMut`).
+//!
+//! `Bytes` here is a plain owned buffer rather than a refcounted slice — the
+//! serialization paths in `x100-compress` only need value semantics.
+
+use std::ops::Deref;
+
+/// Immutable owned byte buffer. Dereferences to `[u8]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.0
+    }
+}
+
+/// Growable byte buffer; freeze it into [`Bytes`] when done writing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Little-endian read cursor. Implemented for `&[u8]`, which advances
+/// through the slice as values are read.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, n: usize);
+    fn chunk(&self) -> &[u8];
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Little-endian write cursor, implemented for [`BytesMut`].
+pub trait BufMut {
+    fn put_slice(&mut self, data: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.remaining(), 13);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), u64::MAX - 1);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn advance_moves_the_cursor() {
+        let data = [1u8, 2, 3, 4];
+        let mut cursor: &[u8] = &data;
+        cursor.advance(2);
+        assert_eq!(cursor.get_u8(), 3);
+        assert_eq!(cursor.remaining(), 1);
+    }
+}

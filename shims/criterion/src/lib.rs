@@ -1,0 +1,250 @@
+//! Offline stand-in for the subset of the
+//! [`criterion` 0.5](https://docs.rs/criterion) API this workspace uses:
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short warm-up,
+//! then a fixed number of timed samples, and reports the median per-iteration
+//! time (plus MB/s when a byte throughput is set). Good enough to compare
+//! codecs and track regressions locally; swap in real criterion for
+//! publication-grade numbers.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// When true (no `--bench` flag, i.e. `cargo test --benches`), each
+/// benchmark payload runs exactly once as a smoke test instead of being
+/// measured — mirroring real criterion's test mode.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+#[doc(hidden)]
+pub fn configure_test_mode_from_args() {
+    if !std::env::args().any(|a| a == "--bench") {
+        TEST_MODE.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Top-level benchmark driver, one per `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.to_string(), sample_size, None, f);
+        self
+    }
+}
+
+/// Throughput annotation; per-second rates are derived from it.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named collection of related benchmarks sharing sample size and
+/// throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group, e.g. `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            black_box(f());
+            return;
+        }
+        // Warm up and pick an iteration count so one sample is ~1ms.
+        let warmup_start = Instant::now();
+        black_box(f());
+        let one = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+        self.samples.sort();
+    }
+
+    fn median(&self) -> Duration {
+        self.samples
+            .get(self.samples.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if TEST_MODE.load(Ordering::Relaxed) {
+        eprintln!("  {name:<48} ok (test mode)");
+        return;
+    }
+    let median = bencher.median();
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if median > Duration::ZERO => {
+            let mbps = bytes as f64 / median.as_secs_f64() / 1e6;
+            format!("  {mbps:>10.1} MB/s")
+        }
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let eps = n as f64 / median.as_secs_f64() / 1e6;
+            format!("  {eps:>10.2} Melem/s")
+        }
+        _ => String::new(),
+    };
+    eprintln!("  {name:<48} {median:>12.2?}/iter{rate}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; its absence means we're under
+            // `cargo test --benches`, where payloads run once, unmeasured.
+            $crate::configure_test_mode_from_args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_a_sane_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("self-test");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

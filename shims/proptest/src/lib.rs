@@ -1,0 +1,577 @@
+//! Offline stand-in for the subset of the
+//! [`proptest` 1.x](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the strategy combinators, macros and config the test suites need:
+//!
+//! * `Strategy` with `prop_map` / `prop_flat_map` / `boxed`;
+//! * range, `any::<T>()`, `Just`, tuple and `prop_oneof!` strategies;
+//! * `prop::collection::{vec, hash_set, btree_map}`;
+//! * the `proptest!` test macro with `#![proptest_config(..)]`,
+//!   `prop_assert!` and `prop_assert_eq!`;
+//! * `ProptestConfig::with_cases` plus the `PROPTEST_CASES` env override.
+//!
+//! Differences from real proptest: sampling is purely random (no input
+//! *shrinking* on failure) and each test gets a fixed RNG seed derived from
+//! its name, so runs are deterministic — which is exactly what CI wants.
+//! Swap in the real crate when a registry is available; the test sources
+//! need no changes.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, RngCore, SeedableRng};
+
+pub use rand::rngs::StdRng as TestRng;
+
+/// Runner configuration. Only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases by default (real proptest uses 256); override with the
+    /// `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Applies the `PROPTEST_CASES` env override, mirroring real proptest.
+pub fn resolve_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases)
+}
+
+/// Error type carried by `prop_assert!` failures.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test's name so different
+/// tests explore different streams but every run repeats exactly.
+pub fn new_rng(test_name: &str) -> TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(seed)
+}
+
+/// A generator of values. Unlike real proptest there is no shrinking tree;
+/// `sample` draws one value directly.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies — the engine behind `prop_oneof!`.
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union(branches)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let ix = rng.gen_range(0..self.0.len());
+        self.0[ix].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Full-range strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — arbitrary values of `T` over its whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a full-domain generator, with edge cases over-weighted the way
+/// real proptest's binary search-ish distributions stress boundaries.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // 1-in-8 draws pick an edge value; the rest are uniform.
+                if rng.gen_range(0u32..8) == 0 {
+                    *[<$t>::MIN, <$t>::MAX, 0 as $t, 1 as $t]
+                        .iter()
+                        .nth(rng.gen_range(0usize..4))
+                        .unwrap()
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/a)
+    (A/a, B/b)
+    (A/a, B/b, C/c)
+    (A/a, B/b, C/c, D/d)
+    (A/a, B/b, C/c, D/d, E/e)
+    (A/a, B/b, C/c, D/d, E/e, F/f)
+    (A/a, B/b, C/c, D/d, E/e, F/f, G/g)
+    (A/a, B/b, C/c, D/d, E/e, F/f, G/g, H/h)
+}
+
+/// Collection size specification: a fixed size or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            start: *r.start(),
+            end: *r.end() + 1,
+        }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.start..self.size.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::hash_set(element, sizes)`. If the element domain
+    /// is too small to reach the drawn size, yields as many distinct
+    /// elements as it can find in a bounded number of draws.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = rng.gen_range(self.size.start..self.size.end);
+            let mut out = HashSet::with_capacity(n);
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 10 + 16 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::btree_map(key, value, sizes)`. Sizes are treated
+    /// as an upper bound when the key domain is small, like `hash_set`.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = rng.gen_range(self.size.start..self.size.end);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 10 + 16 {
+                out.insert(self.key.sample(rng), self.value.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError, TestRng};
+}
+
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy, Union};
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+    /// Lets `prop::collection::vec(..)` paths resolve, as in real proptest.
+    pub use crate as prop;
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// The test-suite macro: expands each `fn name(arg in strategy, ..) { body }`
+/// into a `#[test]` that samples the strategies `cases` times and runs the
+/// body, reporting the failing inputs on the first failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let cases = $crate::resolve_cases(&config);
+            let mut rng = $crate::new_rng(concat!(module_path!(), "::", stringify!($name)));
+            $(let $arg = $crate::Strategy::boxed($strategy);)*
+            for case in 0..cases {
+                $(let $arg = $crate::Strategy::sample(&$arg, &mut rng);)*
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, cases, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn ranges_and_oneof_sample_in_domain() {
+        let mut rng = crate::new_rng("shim-self-test");
+        let s = prop_oneof![Just(5u32), 10u32..20];
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v == 5 || (10..20).contains(&v));
+        }
+        let wide = any::<u32>();
+        let distinct: std::collections::HashSet<u32> =
+            (0..64).map(|_| wide.sample(&mut rng)).collect();
+        assert!(distinct.len() > 8, "any::<u32>() should vary");
+        let vecs = prop::collection::vec(0u32..4, 2..5);
+        for _ in 0..50 {
+            let v = vecs.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u32..100, b in any::<u8>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(u32::from(b) + a, a + u32::from(b));
+        }
+    }
+}

@@ -130,19 +130,24 @@ fn materialized_scores_do_not_change_the_ranking() {
 fn cold_hot_io_accounting_through_the_stack() {
     let c = collection();
     let index = InvertedIndex::build(&c, &IndexConfig::compressed());
-    let engine =
-        QueryEngine::with_buffering(&index, DiskModel::raid12(), BufferMode::Hot, 0);
+    let engine = QueryEngine::with_buffering(&index, DiskModel::raid12(), BufferMode::Hot, 0);
     let q = &c.eval_queries[0];
 
-    let cold = engine.search(&q.terms, SearchStrategy::Bm25, 10).expect("cold");
+    let cold = engine
+        .search(&q.terms, SearchStrategy::Bm25, 10)
+        .expect("cold");
     assert!(cold.io.reads > 0 && cold.io.sim_time > std::time::Duration::ZERO);
-    let hot = engine.search(&q.terms, SearchStrategy::Bm25, 10).expect("hot");
+    let hot = engine
+        .search(&q.terms, SearchStrategy::Bm25, 10)
+        .expect("hot");
     assert_eq!(hot.io.reads, 0, "resident blocks must not re-charge I/O");
     assert_eq!(cold.results, hot.results);
 
     // Eviction makes it cold again.
     engine.buffers().evict_all();
-    let recold = engine.search(&q.terms, SearchStrategy::Bm25, 10).expect("recold");
+    let recold = engine
+        .search(&q.terms, SearchStrategy::Bm25, 10)
+        .expect("recold");
     assert!(recold.io.reads > 0);
 }
 
@@ -158,7 +163,11 @@ fn compressed_index_charges_less_io_than_raw() {
     for q in c.efficiency_log.iter().take(30) {
         e_raw.buffers().evict_all();
         e_comp.buffers().evict_all();
-        raw_bytes += e_raw.search(q, SearchStrategy::Bm25, 20).expect("raw").io.bytes;
+        raw_bytes += e_raw
+            .search(q, SearchStrategy::Bm25, 20)
+            .expect("raw")
+            .io
+            .bytes;
         comp_bytes += e_comp
             .search(q, SearchStrategy::Bm25, 20)
             .expect("comp")
@@ -268,7 +277,9 @@ fn custom_bm25_parameters_flow_through() {
     let default_index = InvertedIndex::build(&c, &IndexConfig::compressed());
     let default_engine = QueryEngine::new(&default_index);
     let q = &c.eval_queries[0];
-    let a = engine.search(&q.terms, SearchStrategy::Bm25, 10).expect("a");
+    let a = engine
+        .search(&q.terms, SearchStrategy::Bm25, 10)
+        .expect("a");
     let b = default_engine
         .search(&q.terms, SearchStrategy::Bm25, 10)
         .expect("b");

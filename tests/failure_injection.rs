@@ -86,7 +86,9 @@ fn unknown_query_terms_yield_empty_not_error() {
 fn empty_query_yields_empty() {
     let (_, idx) = tiny_index();
     let engine = QueryEngine::new(&idx);
-    let resp = engine.search(&[], SearchStrategy::Bm25, 10).expect("search");
+    let resp = engine
+        .search(&[], SearchStrategy::Bm25, 10)
+        .expect("search");
     assert!(resp.results.is_empty());
 }
 
@@ -98,7 +100,9 @@ fn mixed_known_unknown_terms_use_the_known_ones() {
     let with_junk = engine
         .search(&[known, 8_888_888], SearchStrategy::Bm25, 10)
         .expect("search");
-    let clean = engine.search(&[known], SearchStrategy::Bm25, 10).expect("search");
+    let clean = engine
+        .search(&[known], SearchStrategy::Bm25, 10)
+        .expect("search");
     assert_eq!(with_junk.results, clean.results);
 }
 
@@ -135,7 +139,9 @@ fn zero_length_documents_are_tolerated() {
     let idx = InvertedIndex::build(&c, &IndexConfig::compressed());
     let engine = QueryEngine::new(&idx);
     for q in &c.eval_queries {
-        let resp = engine.search(&q.terms, SearchStrategy::Bm25, 5).expect("search");
+        let resp = engine
+            .search(&q.terms, SearchStrategy::Bm25, 5)
+            .expect("search");
         assert!(resp.results.len() <= 5);
     }
 }

@@ -4,15 +4,14 @@
 use proptest::prelude::*;
 
 use monetdb_x100::compress::Codec;
-use monetdb_x100::exec::prelude::*;
 use monetdb_x100::exec::collect_batches;
+use monetdb_x100::exec::prelude::*;
 use monetdb_x100::storage::{BufferManager, BufferMode, Column, DiskModel, Table};
 use monetdb_x100::vector::{Batch, ValueType, Vector};
 
 /// Sorted unique docids with payloads — a posting list.
 fn posting_list() -> impl Strategy<Value = Vec<(i32, i32)>> {
-    prop::collection::btree_map(0i32..5000, 1i32..100, 0..300)
-        .prop_map(|m| m.into_iter().collect())
+    prop::collection::btree_map(0i32..5000, 1i32..100, 0..300).prop_map(|m| m.into_iter().collect())
 }
 
 fn postings_op(rows: &[(i32, i32)]) -> Box<dyn Operator> {
