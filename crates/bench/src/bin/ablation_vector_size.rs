@@ -10,23 +10,31 @@
 //! column-at-a-time MonetDB/MIL (intermediates spill out of the CPU cache).
 //! The sweet spot sits around a few hundred to a few thousand values.
 //!
-//! Usage: `ablation_vector_size [num_docs] [num_queries]`
+//! Usage: `ablation_vector_size [--scale tiny|small|medium|large] [num_docs] [num_queries]`
 //! (defaults: 10000 docs, 60 queries — vector size 1 is *slow*, which is
 //! the point)
 
 use std::time::{Duration, Instant};
 
-use x100_bench::{fmt_ms, TablePrinter};
-use x100_corpus::{CollectionConfig, SyntheticCollection};
+use x100_bench::{fmt_ms, take_scale_flag_or_exit, TablePrinter};
+use x100_corpus::{CollectionConfig, Scale, SyntheticCollection};
 use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy};
 
 const TOP_N: usize = 20;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut cfg = CollectionConfig::benchmark();
-    cfg.num_docs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
-    let num_queries: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = take_scale_flag_or_exit(&mut args);
+    let mut cfg = scale
+        .map(Scale::config)
+        .unwrap_or_else(CollectionConfig::benchmark);
+    if scale.is_none() {
+        cfg.num_docs = 10_000; // historical default: vector size 1 is slow
+    }
+    if let Some(n) = args.first().and_then(|s| s.parse().ok()) {
+        cfg.num_docs = n;
+    }
+    let num_queries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
 
     eprintln!("generating {}-doc collection ...", cfg.num_docs);
     let collection = SyntheticCollection::generate(&cfg);

@@ -1,0 +1,108 @@
+//! **Bitpack kernel trajectory** — unrolled per-width unpack vs the generic
+//! oracle, at every code width 1–32.
+//!
+//! The PFOR family's LOOP1 is a bitpack unpack; at the paper's target
+//! bandwidths it must run memory-bound. This harness measures, for each
+//! width `b`, the decode throughput of:
+//!
+//! * `generic` — [`x100_compress::bitpack::unpack_generic`], the per-value
+//!   shift-computing loop (the property-test oracle);
+//! * `kernel` — [`x100_compress::bitpack::unpack`], the macro-generated
+//!   fully unrolled 32-value-group kernel for that width.
+//!
+//! Outputs are asserted identical before anything is timed. Results go to
+//! stdout as a table and to `BENCH_bitpack.json` as a machine-readable
+//! trajectory (GB/s of decoded output, best-of-trials), so future PRs have
+//! a perf baseline to diff against.
+//!
+//! Usage: `bench_bitpack [num_values]` (default 262144)
+
+use std::time::Instant;
+
+use x100_bench::{write_trajectory, Json, TablePrinter};
+use x100_compress::bitpack;
+
+/// Timing trials per width; best-of is reported to suppress scheduler noise.
+const TRIALS: usize = 7;
+/// Decode repetitions per trial so each sample is comfortably above timer
+/// resolution even at the fastest widths.
+const REPS: usize = 8;
+
+fn throughput_gbps(n: usize, mut decode: impl FnMut()) -> f64 {
+    decode(); // warm-up
+    let mut best = f64::MAX;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        for _ in 0..REPS {
+            decode();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / REPS as f64);
+    }
+    (n * 4) as f64 / best / 1e9
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+
+    println!("Bitpack unpack throughput: unrolled kernels vs generic oracle ({n} values)\n");
+    let mut table = TablePrinter::new(&["width", "generic GB/s", "kernel GB/s", "speedup"]);
+    let mut records = Vec::new();
+    let mut min_speedup = f64::MAX;
+
+    for b in 1..=bitpack::MAX_WIDTH {
+        // Deterministic values exercising the full code range of the width.
+        let mask = bitpack::mask(b) as u32;
+        let mut x = 0x9E3779B9u32;
+        let values: Vec<u32> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x & mask
+            })
+            .collect();
+        let packed = bitpack::pack(&values, b);
+
+        // Correctness gate: identical outputs or no measurement.
+        let (mut fast, mut oracle) = (Vec::new(), Vec::new());
+        bitpack::unpack(&packed, n, b, &mut fast);
+        bitpack::unpack_generic(&packed, n, b, &mut oracle);
+        assert_eq!(fast, oracle, "kernel and oracle disagree at width {b}");
+        assert_eq!(fast, values, "roundtrip failed at width {b}");
+
+        let mut out = Vec::new();
+        let generic = throughput_gbps(n, || bitpack::unpack_generic(&packed, n, b, &mut out));
+        let kernel = throughput_gbps(n, || bitpack::unpack(&packed, n, b, &mut out));
+        let speedup = kernel / generic;
+        min_speedup = min_speedup.min(speedup);
+
+        table.push_row(vec![
+            b.to_string(),
+            format!("{generic:.2}"),
+            format!("{kernel:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        records.push(Json::obj(vec![
+            ("width", Json::Num(f64::from(b))),
+            ("generic_gbps", Json::Num(generic)),
+            ("kernel_gbps", Json::Num(kernel)),
+            ("speedup", Json::Num(speedup)),
+        ]));
+    }
+
+    print!("{}", table.render());
+    println!(
+        "\nMinimum speedup across widths: {min_speedup:.2}x \
+         (kernels must beat the generic path everywhere)"
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("bitpack_unpack")),
+        ("num_values", Json::Num(n as f64)),
+        ("trials", Json::Num(TRIALS as f64)),
+        ("min_speedup", Json::Num(min_speedup)),
+        ("widths", Json::Arr(records)),
+    ]);
+    write_trajectory("BENCH_bitpack.json", &doc).expect("write BENCH_bitpack.json");
+}

@@ -10,16 +10,20 @@
 //! variants that explain the BM25TCM/BM25TCMQ8 I/O behaviour (32-bit floats
 //! vs 8-bit quantized codes).
 //!
-//! Usage: `compression_ratios [num_docs]` (default 100000)
+//! Usage: `compression_ratios [--scale tiny|small|medium|large] [num_docs]`
+//! (default: the medium scale's 100000 docs)
 
-use x100_bench::{reference, TablePrinter};
-use x100_corpus::{CollectionConfig, SyntheticCollection};
+use x100_bench::{reference, take_scale_flag_or_exit, TablePrinter};
+use x100_corpus::{CollectionConfig, Scale, SyntheticCollection};
 use x100_ir::{IndexConfig, InvertedIndex};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut cfg = CollectionConfig::benchmark();
-    if let Some(n) = args.get(1).and_then(|s| s.parse().ok()) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = take_scale_flag_or_exit(&mut args);
+    let mut cfg = scale
+        .map(Scale::config)
+        .unwrap_or_else(CollectionConfig::benchmark);
+    if let Some(n) = args.first().and_then(|s| s.parse().ok()) {
         cfg.num_docs = n;
     }
 

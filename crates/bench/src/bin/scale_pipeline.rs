@@ -1,0 +1,201 @@
+//! **Scale trajectory** — the full pipeline (generate → index → query →
+//! distributed merge) at one rung of the `--scale` ladder, with stage
+//! timings recorded to `BENCH_scale.json`.
+//!
+//! This is the `--scale` path's end-to-end exerciser and the CI smoke job's
+//! workload. Generation is streamed ([`x100_corpus::CollectionStream`]) and
+//! consumed chunk-by-chunk by *both* the single-node
+//! [`x100_ir::StreamingIndexBuilder`] and the per-partition builders of the
+//! cluster, so the collection is generated exactly once and never resident:
+//! peak memory is the indexes plus one document chunk, whatever the scale.
+//!
+//! Usage: `scale_pipeline [--scale tiny|small|medium|large] [--partitions N] [--queries N]`
+//! (defaults: small, 8 partitions, 200 measured queries)
+
+use std::time::Instant;
+
+use x100_bench::{fmt_ms, take_scale_flag_or_exit, write_trajectory, Json, TablePrinter};
+use x100_corpus::{precision_at_k, CollectionStream, Scale};
+use x100_distributed::SimulatedCluster;
+use x100_ir::{IndexConfig, QueryEngine, SearchStrategy, StreamingIndexBuilder};
+
+const TOP_N: usize = 20;
+const STRATEGY: SearchStrategy = SearchStrategy::Bm25TwoPass;
+
+fn take_usize_flag(args: &mut Vec<String>, name: &str, default: usize) -> usize {
+    let Some(pos) = args.iter().position(|a| a == name) else {
+        return default;
+    };
+    args.remove(pos);
+    if pos < args.len() {
+        if let Ok(v) = args.remove(pos).parse() {
+            return v;
+        }
+    }
+    eprintln!("error: {name} expects an integer value");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = take_scale_flag_or_exit(&mut args).unwrap_or(Scale::Small);
+    let partitions = take_usize_flag(&mut args, "--partitions", 8);
+    let num_queries = take_usize_flag(&mut args, "--queries", 200);
+    if partitions == 0 {
+        eprintln!("error: --partitions must be at least 1");
+        std::process::exit(2);
+    }
+    let cfg = scale.config();
+    let chunk = scale.chunk_size();
+
+    eprintln!(
+        "scale={scale}: {} docs, vocab {}, chunk {chunk}, {partitions} partitions",
+        cfg.num_docs, cfg.vocab_size
+    );
+
+    // Stage 1 — one streamed generation pass feeding every index builder.
+    let t0 = Instant::now();
+    let mut stream = CollectionStream::new(&cfg);
+    let vocab = stream.vocab();
+    let mut full = StreamingIndexBuilder::new(vocab.len(), &IndexConfig::compressed());
+    let mut nodes: Vec<(StreamingIndexBuilder, Vec<u32>)> = (0..partitions)
+        .map(|_| {
+            (
+                StreamingIndexBuilder::new(vocab.len(), &IndexConfig::compressed()),
+                Vec::new(),
+            )
+        })
+        .collect();
+    while let Some(docs) = stream.next_chunk(chunk) {
+        for doc in &docs {
+            full.push_doc(&doc.name, &doc.terms, doc.len);
+            let (builder, global_ids) = &mut nodes[doc.id as usize % partitions];
+            builder.push_doc(&doc.name, &doc.terms, doc.len);
+            global_ids.push(doc.id);
+        }
+    }
+    let tail = stream.finish();
+    let generate_index_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let index = full.finish(&vocab);
+    let cluster = SimulatedCluster::from_partition_builders(nodes, &vocab);
+    let finish_s = t1.elapsed().as_secs_f64();
+    eprintln!(
+        "indexed {} postings in {:.2}s (+{:.2}s column build)",
+        index.num_postings(),
+        generate_index_s,
+        finish_s
+    );
+
+    // Stage 2 — single-node query throughput + effectiveness.
+    let engine = QueryEngine::new(&index);
+    let queries: Vec<&Vec<u32>> = tail.efficiency_log.iter().take(num_queries).collect();
+    for q in &queries {
+        let _ = engine.search(q, STRATEGY, TOP_N); // warm
+    }
+    let t2 = Instant::now();
+    let mut cpu_total = std::time::Duration::ZERO;
+    for q in &queries {
+        cpu_total += engine.search(q, STRATEGY, TOP_N).expect("search").cpu_time;
+    }
+    let query_wall_s = t2.elapsed().as_secs_f64();
+    let query_avg = cpu_total / queries.len().max(1) as u32;
+    let qps = queries.len() as f64 / query_wall_s;
+
+    let mut p20 = 0.0;
+    for q in &tail.eval_queries {
+        let ranked: Vec<u32> = engine
+            .search(&q.terms, STRATEGY, TOP_N)
+            .expect("search")
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        p20 += precision_at_k(&ranked, &q.relevant, TOP_N);
+    }
+    p20 /= tail.eval_queries.len().max(1) as f64;
+
+    // Stage 3 — distributed broadcast + merge over the same queries.
+    let t3 = Instant::now();
+    let mut merged_nonempty = 0usize;
+    for q in &queries {
+        if !cluster.search(q, STRATEGY, TOP_N).is_empty() {
+            merged_nonempty += 1;
+        }
+    }
+    let merge_wall_s = t3.elapsed().as_secs_f64();
+    let merge_avg_ms = merge_wall_s * 1e3 / queries.len().max(1) as f64;
+
+    // Sanity: the merged top-20 must strongly overlap the single-node one.
+    let mut overlap = 0usize;
+    let mut overlap_total = 0usize;
+    for q in queries.iter().take(20) {
+        let single: Vec<u32> = engine
+            .search(q, STRATEGY, TOP_N)
+            .expect("search")
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        let dist: Vec<u32> = cluster
+            .search(q, STRATEGY, TOP_N)
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        overlap += single.iter().filter(|d| dist.contains(d)).count();
+        overlap_total += single.len();
+    }
+    let overlap_pct = if overlap_total == 0 {
+        100.0
+    } else {
+        100.0 * overlap as f64 / overlap_total as f64
+    };
+
+    let mut t = TablePrinter::new(&["stage", "result"]);
+    t.push_row(vec![
+        "generate+index (streamed)".into(),
+        format!(
+            "{generate_index_s:.2}s for {} postings",
+            index.num_postings()
+        ),
+    ]);
+    t.push_row(vec!["column build".into(), format!("{finish_s:.2}s")]);
+    t.push_row(vec![
+        "single-node query".into(),
+        format!(
+            "{} ms avg CPU, {qps:.0} q/s, p@20 {p20:.3}",
+            fmt_ms(query_avg)
+        ),
+    ]);
+    t.push_row(vec![
+        format!("distributed merge ({partitions} nodes)"),
+        format!(
+            "{merge_avg_ms:.2} ms avg, {merged_nonempty}/{} non-empty",
+            queries.len()
+        ),
+    ]);
+    t.push_row(vec![
+        "single-vs-merged overlap".into(),
+        format!("{overlap_pct:.0}%"),
+    ]);
+    println!("\nScale pipeline — {scale}:");
+    print!("{}", t.render());
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("scale_pipeline")),
+        ("scale", Json::str(scale.name())),
+        ("num_docs", Json::Num(cfg.num_docs as f64)),
+        ("vocab_size", Json::Num(cfg.vocab_size as f64)),
+        ("partitions", Json::Num(partitions as f64)),
+        ("num_postings", Json::Num(index.num_postings() as f64)),
+        ("generate_index_s", Json::Num(generate_index_s)),
+        ("column_build_s", Json::Num(finish_s)),
+        ("query_avg_ms", Json::Num(query_avg.as_secs_f64() * 1e3)),
+        ("query_qps", Json::Num(qps)),
+        ("p_at_20", Json::Num(p20)),
+        ("merge_avg_ms", Json::Num(merge_avg_ms)),
+        ("overlap_pct", Json::Num(overlap_pct)),
+    ]);
+    write_trajectory("BENCH_scale.json", &doc).expect("write BENCH_scale.json");
+}

@@ -23,13 +23,14 @@
 //! improves at +Compression and +Quantization while +Materialization makes
 //! cold *worse* (32-bit floats read instead of 8.13-bit tf).
 //!
-//! Usage: `table2_trec_runs [num_docs] [num_queries]`
-//! (defaults: 100000 docs, 800 efficiency queries; cold uses a subsample)
+//! Usage: `table2_trec_runs [--scale tiny|small|medium|large] [num_docs] [num_queries]`
+//! (defaults: the medium scale's 100000 docs, 800 efficiency queries; cold
+//! uses a subsample)
 
 use std::time::Duration;
 
-use x100_bench::{fmt_ms, reference, TablePrinter};
-use x100_corpus::{precision_at_k, CollectionConfig, SyntheticCollection};
+use x100_bench::{fmt_ms, reference, take_scale_flag_or_exit, TablePrinter};
+use x100_corpus::{precision_at_k, CollectionConfig, Scale, SyntheticCollection};
 use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy};
 use x100_storage::{BufferMode, DiskModel};
 
@@ -83,12 +84,19 @@ const RUNS: &[RunSpec] = &[
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut cfg = CollectionConfig::benchmark();
-    if let Some(n) = args.get(1).and_then(|s| s.parse().ok()) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = take_scale_flag_or_exit(&mut args);
+    let mut cfg = scale
+        .map(Scale::config)
+        .unwrap_or_else(CollectionConfig::benchmark);
+    if let Some(n) = args.first().and_then(|s| s.parse().ok()) {
         cfg.num_docs = n;
     }
-    cfg.num_efficiency_queries = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(800);
+    if let Some(n) = args.get(1).and_then(|s| s.parse().ok()) {
+        cfg.num_efficiency_queries = n;
+    } else if scale.is_none() {
+        cfg.num_efficiency_queries = 800; // historical default without --scale
+    }
 
     println!("Table 1 (context) — published TREC-TB 2005 leaders (verbatim):");
     let mut t1 = TablePrinter::new(&["Run", "p@20", "CPUs", "ms/query"]);

@@ -15,11 +15,11 @@
 //! servers); amortized time (throughput) *does* scale ~linearly with
 //! streams while per-query latency degrades.
 //!
-//! Usage: `table3_distributed [num_docs] [num_queries]`
-//! (defaults: 100000 docs, 400 measured queries)
+//! Usage: `table3_distributed [--scale tiny|small|medium|large] [num_docs] [num_queries]`
+//! (defaults: the medium scale's 100000 docs, 400 measured queries)
 
-use x100_bench::{fmt_ms, reference, TablePrinter};
-use x100_corpus::{CollectionConfig, SyntheticCollection};
+use x100_bench::{fmt_ms, reference, take_scale_flag_or_exit, TablePrinter};
+use x100_corpus::{CollectionConfig, Scale, SyntheticCollection};
 use x100_distributed::{simulate_run, RunConfig, SimulatedCluster};
 use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy};
 
@@ -28,12 +28,15 @@ const TOP_N: usize = 20;
 const STRATEGY: SearchStrategy = SearchStrategy::Bm25TwoPass;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut cfg = CollectionConfig::benchmark();
-    if let Some(n) = args.get(1).and_then(|s| s.parse().ok()) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = take_scale_flag_or_exit(&mut args);
+    let mut cfg = scale
+        .map(Scale::config)
+        .unwrap_or_else(CollectionConfig::benchmark);
+    if let Some(n) = args.first().and_then(|s| s.parse().ok()) {
         cfg.num_docs = n;
     }
-    let num_queries: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let num_queries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
     cfg.num_efficiency_queries = cfg.num_efficiency_queries.max(num_queries);
 
     eprintln!(

@@ -1,0 +1,93 @@
+//! Shared command-line handling for the figure/table binaries.
+//!
+//! Every collection-driven bin accepts `--scale tiny|small|medium|large`
+//! (see [`x100_corpus::Scale`]) ahead of its positional arguments, so the
+//! whole harness can be pointed at one rung of the scale ladder:
+//!
+//! ```text
+//! cargo run --release -p x100-bench --bin table2_trec_runs -- --scale medium
+//! ```
+
+use x100_corpus::scale::ParseScaleError;
+use x100_corpus::Scale;
+
+/// Extracts a `--scale NAME` or `--scale=NAME` flag from `args` (removing
+/// the consumed elements so positional parsing is unaffected).
+///
+/// Returns `Ok(None)` when the flag is absent, and an error when the flag
+/// has a bad value or no value at all.
+pub fn take_scale_flag(args: &mut Vec<String>) -> Result<Option<Scale>, ParseScaleError> {
+    let Some(pos) = args
+        .iter()
+        .position(|a| a == "--scale" || a.starts_with("--scale="))
+    else {
+        return Ok(None);
+    };
+    let raw = if let Some(inline) = args[pos].strip_prefix("--scale=") {
+        let value = inline.to_owned();
+        args.remove(pos);
+        value
+    } else {
+        args.remove(pos);
+        if pos < args.len() {
+            args.remove(pos)
+        } else {
+            String::new() // missing value parses to a helpful error
+        }
+    };
+    raw.parse::<Scale>().map(Some)
+}
+
+/// [`take_scale_flag`], exiting with a usage message on a bad value — the
+/// behaviour every bin wants.
+pub fn take_scale_flag_or_exit(args: &mut Vec<String>) -> Option<Scale> {
+    match take_scale_flag(args) {
+        Ok(scale) => scale,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn absent_flag_is_none() {
+        let mut a = args(&["50000", "400"]);
+        assert_eq!(take_scale_flag(&mut a).unwrap(), None);
+        assert_eq!(a, args(&["50000", "400"]));
+    }
+
+    #[test]
+    fn separate_value_form() {
+        let mut a = args(&["--scale", "medium", "400"]);
+        assert_eq!(take_scale_flag(&mut a).unwrap(), Some(Scale::Medium));
+        assert_eq!(a, args(&["400"]));
+    }
+
+    #[test]
+    fn inline_value_form() {
+        let mut a = args(&["7", "--scale=large"]);
+        assert_eq!(take_scale_flag(&mut a).unwrap(), Some(Scale::Large));
+        assert_eq!(a, args(&["7"]));
+    }
+
+    #[test]
+    fn bad_value_errors() {
+        let mut a = args(&["--scale", "galactic"]);
+        assert!(take_scale_flag(&mut a).is_err());
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let mut a = args(&["--scale"]);
+        assert!(take_scale_flag(&mut a).is_err());
+    }
+}

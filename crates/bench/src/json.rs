@@ -1,0 +1,163 @@
+//! Minimal JSON emission for the `BENCH_*.json` trajectory files.
+//!
+//! The offline environment has no serde, and the trajectories only need
+//! writing, never parsing — so this is a tiny value tree with a renderer.
+//! Perf-tracking files (`BENCH_bitpack.json`, `BENCH_scale.json`) are
+//! written to the working directory so successive runs can be diffed or
+//! collected by CI artifacts.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience object constructor.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => render_seq(out, indent, '[', ']', items.len(), |out, i| {
+                items[i].render_into(out, indent + 1);
+            }),
+            Json::Obj(pairs) => render_seq(out, indent, '{', '}', pairs.len(), |out, i| {
+                Json::Str(pairs[i].0.clone()).render_into(out, 0);
+                out.push_str(": ");
+                pairs[i].1.render_into(out, indent + 1);
+            }),
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for i in 0..len {
+        out.push('\n');
+        out.push_str(&"  ".repeat(indent + 1));
+        item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push(close);
+}
+
+/// Writes a trajectory file and tells the user where it went.
+pub fn write_trajectory(path: impl AsRef<Path>, value: &Json) -> io::Result<()> {
+    let path = path.as_ref();
+    std::fs::write(path, value.render())?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let v = Json::obj(vec![
+            ("width", Json::Num(8.0)),
+            ("speedup", Json::Num(2.5)),
+            ("name", Json::str("kernel")),
+            ("ok", Json::Bool(true)),
+            ("tags", Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"width\": 8"));
+        assert!(s.contains("\"speedup\": 2.5"));
+        assert!(s.contains("\"tags\": [\n"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::str("a\"b\\c\nd").render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::Num(100000.0).render(), "100000\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+    }
+}

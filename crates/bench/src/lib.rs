@@ -2,10 +2,16 @@
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
 //! (see DESIGN.md §4 for the index); this library holds what they share:
-//! the paper's published numbers ([`mod@reference`]), the workload scale used
-//! across experiments, and small formatting helpers.
+//! the paper's published numbers ([`mod@reference`]), `--scale` flag
+//! handling ([`mod@cli`]), `BENCH_*.json` trajectory emission
+//! ([`mod@json`]), and small formatting helpers.
 
+pub mod cli;
+pub mod json;
 pub mod reference;
+
+pub use cli::{take_scale_flag, take_scale_flag_or_exit};
+pub use json::{write_trajectory, Json};
 
 use std::time::Duration;
 

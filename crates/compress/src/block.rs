@@ -41,11 +41,20 @@ pub enum Codec {
     /// No compression: values stored as raw little-endian `u32`s.
     Raw,
     /// Patched frame-of-reference with the given code width.
-    Pfor { width: u8 },
+    Pfor {
+        /// Code width in bits (1..=24).
+        width: u8,
+    },
     /// PFOR over deltas of subsequent values.
-    PforDelta { width: u8 },
+    PforDelta {
+        /// Code width in bits (1..=24).
+        width: u8,
+    },
     /// Patched dictionary encoding.
-    Pdict { width: u8 },
+    Pdict {
+        /// Code width in bits (1..=12); the dictionary holds `2^width` entries.
+        width: u8,
+    },
 }
 
 impl Codec {
@@ -63,9 +72,13 @@ impl Codec {
 /// decompresses *at vector granularity* into the CPU cache.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompressedBlock {
+    /// Uncompressed values.
     Raw(Vec<u32>),
+    /// A [`PforBlock`].
     Pfor(PforBlock),
+    /// A [`PforDeltaBlock`].
     PforDelta(PforDeltaBlock),
+    /// A [`PdictBlock`].
     Pdict(PdictBlock),
 }
 

@@ -38,6 +38,8 @@
 //! assert_eq!(block.decode(), pi);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bitpack;
 pub mod block;
 pub mod branch;
@@ -65,9 +67,19 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// Range decode did not start at an entry-point boundary.
-    Misaligned { position: usize, stride: usize },
+    Misaligned {
+        /// The requested (unaligned) start position.
+        position: usize,
+        /// The entry-point stride positions must align to.
+        stride: usize,
+    },
     /// Range decode past the end of the block.
-    OutOfBounds { position: usize, len: usize },
+    OutOfBounds {
+        /// The requested end position.
+        position: usize,
+        /// The number of values actually in the block.
+        len: usize,
+    },
     /// Serialized block does not start with [`BLOCK_MAGIC`].
     BadMagic(u32),
     /// Unrecognized codec tag byte.

@@ -4,11 +4,14 @@
 //! * every codec round-trips arbitrary `u32` data, at any width;
 //! * patched and naive decompression agree on the values they reconstruct;
 //! * range decoding agrees with full decoding on every aligned window;
-//! * serialization round-trips bit-exactly.
+//! * serialization round-trips bit-exactly;
+//! * the per-width unrolled bitpack kernels match the generic oracle on
+//!   adversarial inputs, at every width 1–32.
 
 use proptest::prelude::*;
 use x100_compress::{
-    Codec, CompressedBlock, NaiveBlock, PdictBlock, PforBlock, PforDeltaBlock, ENTRY_POINT_STRIDE,
+    bitpack, Codec, CompressedBlock, NaiveBlock, PdictBlock, PforBlock, PforDeltaBlock,
+    ENTRY_POINT_STRIDE,
 };
 
 /// Value distributions that stress different codec paths: uniform small
@@ -137,5 +140,79 @@ proptest! {
         let block = PforBlock::encode_with_width(&values, 8);
         prop_assert!(block.bits_per_value() >= 8.0);
         prop_assert!(block.bits_per_value() < 32.0 + 200.0 / values.len() as f64 * 8.0);
+    }
+}
+
+/// Adversarial value shapes for the bitpack kernels: all-zero (every word
+/// identical), max-value (every code saturates its width), alternating
+/// extremes (exception-heavy PFOR blocks look like this after encoding),
+/// and arbitrary noise. Lengths deliberately straddle the 32-value group
+/// boundary so both the unrolled body and the generic tail are exercised.
+fn kernel_values() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        prop::collection::vec(Just(0u32), 0..300),
+        prop::collection::vec(Just(u32::MAX), 0..300),
+        (0usize..300).prop_map(|n| (0..n)
+            .map(|i| if i % 2 == 0 { u32::MAX } else { 0 })
+            .collect()),
+        prop::collection::vec(any::<u32>(), 0..300),
+    ]
+}
+
+proptest! {
+    /// Every per-bit-width unrolled kernel reconstructs exactly what the
+    /// generic oracle does, for every width — the correctness contract of
+    /// the `BENCH_bitpack.json` speedups.
+    #[test]
+    fn unrolled_kernels_match_generic_oracle(values in kernel_values(), b in 1u8..=32) {
+        let packed = bitpack::pack(&values, b);
+        let mut fast = Vec::new();
+        let mut oracle = Vec::new();
+        bitpack::unpack(&packed, values.len(), b, &mut fast);
+        bitpack::unpack_generic(&packed, values.len(), b, &mut oracle);
+        prop_assert_eq!(&fast, &oracle, "width {}", b);
+        // And both equal the masked input (pack truncates to b bits).
+        let expect: Vec<u32> = values
+            .iter()
+            .map(|&v| (u64::from(v) & bitpack::mask(b)) as u32)
+            .collect();
+        prop_assert_eq!(fast, expect, "width {}", b);
+    }
+
+    /// Range decoding through the kernels agrees with the oracle at every
+    /// start alignment (group-aligned starts take the unrolled path,
+    /// unaligned starts the generic fallback).
+    #[test]
+    fn unrolled_range_matches_generic_oracle(
+        values in kernel_values(),
+        b in 1u8..=32,
+        start_frac in 0.0f64..1.0,
+    ) {
+        let start = ((values.len() as f64) * start_frac) as usize;
+        let len = values.len() - start;
+        let packed = bitpack::pack(&values, b);
+        let mut fast = Vec::new();
+        let mut oracle = Vec::new();
+        bitpack::unpack_range(&packed, start, len, b, &mut fast);
+        bitpack::unpack_range_generic(&packed, start, len, b, &mut oracle);
+        prop_assert_eq!(fast, oracle, "width {} start {}", b, start);
+    }
+
+    /// Exception-heavy PFOR blocks (the Figure 3 worst case) decode
+    /// identically through the kernel-backed unpack.
+    #[test]
+    fn exception_heavy_pfor_roundtrips_through_kernels(
+        exc_rate in 0.0f64..1.0,
+        b in 1u8..=24,
+        n in 0usize..800,
+    ) {
+        let values: Vec<u32> = (0..n)
+            .map(|i| {
+                let r = (i as f64 * 0.618_033_988_749) % 1.0;
+                if r < exc_rate { 1_000_000 + i as u32 } else { (i % 100) as u32 }
+            })
+            .collect();
+        let block = PforBlock::encode_with_width(&values, b);
+        prop_assert_eq!(block.decode(), values);
     }
 }

@@ -12,14 +12,10 @@
 //! 3. **Efficiency log** — a larger, unjudged query stream with the same
 //!    length/selectivity profile (the 50 000-query analogue).
 
-use std::collections::{BTreeMap, HashSet};
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use crate::eval::EvalQuery;
-use crate::query::{sample_query_terms, QueryLogConfig};
-use crate::zipf::ZipfSampler;
+use crate::query::QueryLogConfig;
 
 /// Generation parameters for the synthetic collection.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,20 +78,10 @@ impl CollectionConfig {
     }
 
     /// The benchmark-harness scale used to regenerate Tables 2 and 3
-    /// (minutes of end-to-end run time in release mode).
+    /// (minutes of end-to-end run time in release mode). Alias of
+    /// [`CollectionConfig::medium`] — the `--scale medium` parameters.
     pub fn benchmark() -> Self {
-        CollectionConfig {
-            num_docs: 100_000,
-            vocab_size: 40_000,
-            avg_doc_len: 200,
-            zipf_exponent: 1.0,
-            num_eval_queries: 50,
-            relevant_per_query: 40,
-            boost_tf: (3, 9),
-            query_log: QueryLogConfig::default(),
-            num_efficiency_queries: 2_000,
-            seed: 0x5EED,
-        }
+        Self::medium()
     }
 }
 
@@ -136,81 +122,14 @@ pub struct SyntheticCollection {
 
 impl SyntheticCollection {
     /// Generates the collection deterministically from the config.
+    ///
+    /// This is the materializing form of [`crate::CollectionStream`]: all
+    /// three phases (evaluation queries with planted relevance, documents,
+    /// efficiency log) run off one seeded RNG, and the whole document set is
+    /// held in memory. At [`crate::Scale::Medium`] and beyond, prefer
+    /// streaming chunks instead — the output is bit-identical.
     pub fn generate(config: &CollectionConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let zipf = ZipfSampler::new(config.vocab_size, config.zipf_exponent);
-
-        // Phase 1: evaluation queries + planted relevance.
-        //
-        // Judged topics draw from the mid-frequency band only (no tail
-        // terms): planted relevant documents contain *all* their query's
-        // terms, so a super-rare term would make the conjunctive result set
-        // nearly coincide with the relevant set and boolean "precision"
-        // would be an artifact. The efficiency log (phase 3) does include
-        // tail terms — that is what exercises the two-pass fallback.
-        let eval_log_cfg = QueryLogConfig {
-            tail_prob: 0.0,
-            ..config.query_log.clone()
-        };
-        let mut eval_queries: Vec<EvalQuery> = Vec::with_capacity(config.num_eval_queries);
-        // docid -> list of eval-query indexes it is relevant to.
-        let mut planted: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-        for qi in 0..config.num_eval_queries {
-            let terms = sample_query_terms(&eval_log_cfg, config.vocab_size, &mut rng);
-            let mut relevant = HashSet::with_capacity(config.relevant_per_query);
-            while relevant.len() < config.relevant_per_query.min(config.num_docs) {
-                let d = rng.gen_range(0..config.num_docs as u32);
-                if relevant.insert(d) {
-                    planted.entry(d).or_default().push(qi);
-                }
-            }
-            eval_queries.push(EvalQuery { terms, relevant });
-        }
-
-        // Phase 2: documents.
-        let mut docs = Vec::with_capacity(config.num_docs);
-        for id in 0..config.num_docs as u32 {
-            let len_target = draw_doc_len(config.avg_doc_len, &mut rng);
-            let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
-            let mut drawn = 0usize;
-            while drawn < len_target {
-                let t = zipf.sample(&mut rng) as u32;
-                *counts.entry(t).or_insert(0) += 1;
-                drawn += 1;
-            }
-            // Inject boosted query terms into planted-relevant documents.
-            if let Some(queries) = planted.get(&id) {
-                for &qi in queries {
-                    for &t in &eval_queries[qi].terms {
-                        let boost = rng.gen_range(config.boost_tf.0..=config.boost_tf.1);
-                        *counts.entry(t).or_insert(0) += boost;
-                    }
-                }
-            }
-            let terms: Vec<(u32, u32)> = counts.into_iter().collect();
-            let len: u32 = terms.iter().map(|&(_, tf)| tf).sum();
-            docs.push(Document {
-                id,
-                name: format!("doc-{id:08}"),
-                terms,
-                len,
-            });
-        }
-
-        // Phase 3: efficiency log.
-        let efficiency_log = (0..config.num_efficiency_queries)
-            .map(|_| sample_query_terms(&config.query_log, config.vocab_size, &mut rng))
-            .collect();
-
-        let vocab = (0..config.vocab_size).map(|t| format!("term{t}")).collect();
-
-        SyntheticCollection {
-            config: config.clone(),
-            docs,
-            vocab,
-            eval_queries,
-            efficiency_log,
-        }
+        crate::stream::CollectionStream::new(config).collect_all()
     }
 
     /// Total term occurrences across the collection.
@@ -240,7 +159,7 @@ impl SyntheticCollection {
 /// Document lengths: a geometric-ish two-sided spread around the mean with
 /// a floor of 8 occurrences, giving BM25's length normalization something
 /// to normalize.
-fn draw_doc_len(avg: usize, rng: &mut impl Rng) -> usize {
+pub(crate) fn draw_doc_len(avg: usize, rng: &mut impl Rng) -> usize {
     let avg = avg.max(8) as f64;
     // Log-uniform multiplier in [0.3, 3.0]: median ~0.95, long right tail.
     let factor = (rng.gen::<f64>() * (3.0f64 / 0.3).ln()).exp() * 0.3;
@@ -250,6 +169,7 @@ fn draw_doc_len(avg: usize, rng: &mut impl Rng) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn generation_is_deterministic() {

@@ -31,9 +31,13 @@
 pub mod collection;
 pub mod eval;
 pub mod query;
+pub mod scale;
+pub mod stream;
 pub mod zipf;
 
 pub use collection::{CollectionConfig, Document, SyntheticCollection};
 pub use eval::{precision_at_k, EvalQuery};
 pub use query::QueryLogConfig;
+pub use scale::Scale;
+pub use stream::{CollectionStream, CollectionTail, DEFAULT_CHUNK_SIZE};
 pub use zipf::ZipfSampler;

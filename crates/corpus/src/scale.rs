@@ -1,0 +1,182 @@
+//! Named workload scales — the `--scale` ladder toward TREC-TeraByte.
+//!
+//! The paper's headline experiments run on GOV2: 25 M documents, 426 GB,
+//! 50 000 queries. This repository cannot ship that corpus, but the scale
+//! ladder lets every harness run the *same* pipeline at sizes from
+//! milliseconds (unit tests) to minutes (perf trajectories), with
+//! [`Scale::Medium`] and above generated **in streaming chunks** (see
+//! [`crate::stream::CollectionStream`]) so the whole document set never has
+//! to be resident at once.
+//!
+//! | scale  | docs      | vocabulary | intended use                          |
+//! |--------|-----------|------------|---------------------------------------|
+//! | tiny   | 300       | 500        | unit tests, doctests                  |
+//! | small  | 10 000    | 8 000      | integration tests                     |
+//! | medium | 100 000   | 40 000     | CI smoke, Table 2/3 regeneration      |
+//! | large  | 1 000 000 | 120 000    | perf trajectories (minutes, local)    |
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::collection::CollectionConfig;
+use crate::query::QueryLogConfig;
+
+/// A named collection size on the path toward the paper's TREC-TB scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scale {
+    /// 300 documents — millisecond-scale, for unit tests and doctests.
+    Tiny,
+    /// 10 000 documents — second-scale, for integration tests.
+    Small,
+    /// 100 000 documents — the Table 2/3 regeneration scale; the CI smoke
+    /// job runs the full pipeline here.
+    Medium,
+    /// 1 000 000 documents — the perf-trajectory scale (minutes in release
+    /// mode); only ever generated in streaming chunks.
+    Large,
+}
+
+impl Scale {
+    /// Every scale, smallest first.
+    pub const ALL: [Scale; 4] = [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large];
+
+    /// The generation parameters for this scale.
+    pub fn config(self) -> CollectionConfig {
+        match self {
+            Scale::Tiny => CollectionConfig::tiny(),
+            Scale::Small => CollectionConfig::small(),
+            Scale::Medium => CollectionConfig::medium(),
+            Scale::Large => CollectionConfig::large(),
+        }
+    }
+
+    /// Lower-case name as accepted by [`FromStr`] and the `--scale` flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
+    /// Streaming chunk size (documents per [`crate::CollectionStream`]
+    /// chunk) that keeps resident memory flat without chunking overhead.
+    pub fn chunk_size(self) -> usize {
+        match self {
+            Scale::Tiny | Scale::Small => 1024,
+            Scale::Medium => 4096,
+            Scale::Large => 8192,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown scale name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScaleError(String);
+
+impl fmt::Display for ParseScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scale {:?} (expected tiny, small, medium or large)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseScaleError {}
+
+impl FromStr for Scale {
+    type Err = ParseScaleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Ok(Scale::Tiny),
+            "small" => Ok(Scale::Small),
+            "medium" => Ok(Scale::Medium),
+            "large" => Ok(Scale::Large),
+            _ => Err(ParseScaleError(s.to_owned())),
+        }
+    }
+}
+
+impl CollectionConfig {
+    /// The CI-smoke / Table-regeneration scale (100 k documents); identical
+    /// to the historical [`CollectionConfig::benchmark`] parameters.
+    pub fn medium() -> Self {
+        CollectionConfig {
+            num_docs: 100_000,
+            vocab_size: 40_000,
+            avg_doc_len: 200,
+            zipf_exponent: 1.0,
+            num_eval_queries: 50,
+            relevant_per_query: 40,
+            boost_tf: (3, 9),
+            query_log: QueryLogConfig::default(),
+            num_efficiency_queries: 2_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The perf-trajectory scale: 1 M documents, ~250 M term occurrences.
+    /// Generate this with [`crate::CollectionStream`], not
+    /// [`crate::SyntheticCollection::generate`] — the streamed form never
+    /// holds more than one chunk of documents in memory.
+    pub fn large() -> Self {
+        CollectionConfig {
+            num_docs: 1_000_000,
+            vocab_size: 120_000,
+            avg_doc_len: 250,
+            zipf_exponent: 1.0,
+            num_eval_queries: 50,
+            relevant_per_query: 40,
+            boost_tf: (3, 9),
+            query_log: QueryLogConfig::default(),
+            num_efficiency_queries: 5_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_names() {
+        for s in Scale::ALL {
+            assert_eq!(s.name().parse::<Scale>().unwrap(), s);
+            assert_eq!(s.name().to_uppercase().parse::<Scale>().unwrap(), s);
+        }
+        assert!("gigantic".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Scale::Medium.to_string(), "medium");
+    }
+
+    #[test]
+    fn scales_strictly_grow() {
+        let sizes: Vec<usize> = Scale::ALL.iter().map(|s| s.config().num_docs).collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn medium_matches_benchmark_parameters() {
+        assert_eq!(CollectionConfig::medium(), CollectionConfig::benchmark());
+    }
+
+    #[test]
+    fn parse_error_mentions_input() {
+        let err = "huge".parse::<Scale>().unwrap_err();
+        assert!(err.to_string().contains("huge"));
+    }
+}

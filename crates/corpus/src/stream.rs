@@ -1,0 +1,292 @@
+//! Streaming, chunked collection generation — the `medium`/`large` scale
+//! path.
+//!
+//! [`SyntheticCollection::generate`] materializes every document at once,
+//! which is fine up to [`Scale::Small`](crate::Scale) but wasteful at the
+//! 100 k-document `medium` scale and prohibitive at `large` (1 M documents,
+//! ~250 M term occurrences). [`CollectionStream`] produces the *identical*
+//! document sequence in bounded chunks: phase 1 (evaluation queries and
+//! planted relevance) runs eagerly at construction, documents are drawn
+//! lazily per [`CollectionStream::next_chunk`] call, and phase 3 (the
+//! efficiency query log) runs when the exhausted stream is
+//! [`finish`](CollectionStream::finish)ed.
+//!
+//! All three phases consume one seeded RNG in the same order as the batch
+//! generator, so for any configuration the streamed documents concatenate to
+//! exactly [`SyntheticCollection::generate`]'s output — a property the
+//! test-suite pins down. Consumers that need bounded memory (streaming index
+//! builders, the cluster simulation) pull chunks and drop them; the whole
+//! collection is never resident.
+
+use std::collections::{BTreeMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::collection::{draw_doc_len, CollectionConfig, Document, SyntheticCollection};
+use crate::eval::EvalQuery;
+use crate::query::{sample_query_terms, QueryLogConfig};
+use crate::zipf::ZipfSampler;
+
+/// Default documents per chunk when the caller has no scale-specific
+/// preference (see [`crate::Scale::chunk_size`]).
+pub const DEFAULT_CHUNK_SIZE: usize = 4096;
+
+/// What remains of the workload once every document chunk has been drained:
+/// the judged queries and the efficiency query stream.
+#[derive(Debug, Clone)]
+pub struct CollectionTail {
+    /// Judged queries with planted relevance (phase 1).
+    pub eval_queries: Vec<EvalQuery>,
+    /// Unjudged efficiency queries (phase 3).
+    pub efficiency_log: Vec<Vec<u32>>,
+}
+
+/// Incremental generator yielding documents in bounded chunks.
+///
+/// ```
+/// use x100_corpus::{CollectionConfig, CollectionStream};
+///
+/// let cfg = CollectionConfig::tiny();
+/// let mut stream = CollectionStream::new(&cfg);
+/// let mut total = 0;
+/// while let Some(chunk) = stream.next_chunk(128) {
+///     total += chunk.len();
+/// }
+/// assert_eq!(total, cfg.num_docs);
+/// let tail = stream.finish();
+/// assert_eq!(tail.eval_queries.len(), cfg.num_eval_queries);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollectionStream {
+    config: CollectionConfig,
+    rng: StdRng,
+    zipf: ZipfSampler,
+    eval_queries: Vec<EvalQuery>,
+    /// docid -> indexes of the eval queries it was planted relevant to.
+    planted: BTreeMap<u32, Vec<usize>>,
+    next_doc: u32,
+}
+
+impl CollectionStream {
+    /// Runs phase 1 (evaluation queries + planted relevance) and positions
+    /// the stream before document 0.
+    pub fn new(config: &CollectionConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let zipf = ZipfSampler::new(config.vocab_size, config.zipf_exponent);
+
+        // Judged topics draw from the mid-frequency band only; see the
+        // phase-1 commentary in [`SyntheticCollection::generate`].
+        let eval_log_cfg = QueryLogConfig {
+            tail_prob: 0.0,
+            ..config.query_log.clone()
+        };
+        let mut eval_queries: Vec<EvalQuery> = Vec::with_capacity(config.num_eval_queries);
+        let mut planted: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for qi in 0..config.num_eval_queries {
+            let terms = sample_query_terms(&eval_log_cfg, config.vocab_size, &mut rng);
+            let mut relevant = HashSet::with_capacity(config.relevant_per_query);
+            while relevant.len() < config.relevant_per_query.min(config.num_docs) {
+                let d = rng.gen_range(0..config.num_docs as u32);
+                if relevant.insert(d) {
+                    planted.entry(d).or_default().push(qi);
+                }
+            }
+            eval_queries.push(EvalQuery { terms, relevant });
+        }
+
+        CollectionStream {
+            config: config.clone(),
+            rng,
+            zipf,
+            eval_queries,
+            planted,
+            next_doc: 0,
+        }
+    }
+
+    /// The configuration this stream generates from.
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// The judged queries (available immediately; phase 1 is eager).
+    pub fn eval_queries(&self) -> &[EvalQuery] {
+        &self.eval_queries
+    }
+
+    /// Documents not yet yielded.
+    pub fn docs_remaining(&self) -> usize {
+        self.config.num_docs - self.next_doc as usize
+    }
+
+    /// The vocabulary strings (`vocab[t] == "term{t}"`), identical to the
+    /// batch generator's.
+    pub fn vocab(&self) -> Vec<String> {
+        (0..self.config.vocab_size)
+            .map(|t| format!("term{t}"))
+            .collect()
+    }
+
+    /// Draws up to `max_docs` further documents, or `None` once the
+    /// collection is exhausted.
+    pub fn next_chunk(&mut self, max_docs: usize) -> Option<Vec<Document>> {
+        assert!(max_docs > 0, "chunk size must be positive");
+        if self.docs_remaining() == 0 {
+            return None;
+        }
+        let take = max_docs.min(self.docs_remaining());
+        let mut docs = Vec::with_capacity(take);
+        for _ in 0..take {
+            let id = self.next_doc;
+            self.next_doc += 1;
+            docs.push(self.draw_document(id));
+        }
+        Some(docs)
+    }
+
+    /// One document, phase-2 style: Zipf term draws plus boosted injection
+    /// of any eval-query terms this docid was planted relevant to.
+    fn draw_document(&mut self, id: u32) -> Document {
+        let len_target = draw_doc_len(self.config.avg_doc_len, &mut self.rng);
+        let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut drawn = 0usize;
+        while drawn < len_target {
+            let t = self.zipf.sample(&mut self.rng) as u32;
+            *counts.entry(t).or_insert(0) += 1;
+            drawn += 1;
+        }
+        if let Some(queries) = self.planted.get(&id) {
+            for &qi in queries {
+                for &t in &self.eval_queries[qi].terms {
+                    let boost = self
+                        .rng
+                        .gen_range(self.config.boost_tf.0..=self.config.boost_tf.1);
+                    *counts.entry(t).or_insert(0) += boost;
+                }
+            }
+        }
+        let terms: Vec<(u32, u32)> = counts.into_iter().collect();
+        let len: u32 = terms.iter().map(|&(_, tf)| tf).sum();
+        Document {
+            id,
+            name: format!("doc-{id:08}"),
+            terms,
+            len,
+        }
+    }
+
+    /// Runs phase 3 (the efficiency query log) and returns the workload
+    /// tail. Any documents not yet pulled are drawn and discarded first, so
+    /// the RNG state — and therefore the log — matches the batch generator
+    /// regardless of how far the caller streamed.
+    pub fn finish(mut self) -> CollectionTail {
+        while self.next_chunk(DEFAULT_CHUNK_SIZE).is_some() {}
+        let efficiency_log = (0..self.config.num_efficiency_queries)
+            .map(|_| {
+                sample_query_terms(
+                    &self.config.query_log,
+                    self.config.vocab_size,
+                    &mut self.rng,
+                )
+            })
+            .collect();
+        CollectionTail {
+            eval_queries: self.eval_queries,
+            efficiency_log,
+        }
+    }
+
+    /// Drains the stream into a materialized [`SyntheticCollection`] —
+    /// the batch generator is this, called from document 0.
+    pub fn collect_all(mut self) -> SyntheticCollection {
+        let mut docs = Vec::with_capacity(self.docs_remaining());
+        while let Some(chunk) = self.next_chunk(DEFAULT_CHUNK_SIZE) {
+            docs.extend(chunk);
+        }
+        let vocab = self.vocab();
+        let config = self.config.clone();
+        let tail = self.finish();
+        SyntheticCollection {
+            config,
+            docs,
+            vocab,
+            eval_queries: tail.eval_queries,
+            efficiency_log: tail.efficiency_log,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streamed_chunks_concatenate_to_batch_output() {
+        let cfg = CollectionConfig::tiny();
+        let batch = SyntheticCollection::generate(&cfg);
+        let mut stream = CollectionStream::new(&cfg);
+        let mut docs = Vec::new();
+        // Deliberately ragged chunk sizes: chunking must not affect output.
+        for chunk_size in [1usize, 7, 64, 200, 1000].iter().cycle() {
+            match stream.next_chunk(*chunk_size) {
+                Some(chunk) => docs.extend(chunk),
+                None => break,
+            }
+        }
+        assert_eq!(docs, batch.docs);
+        let tail = stream.finish();
+        assert_eq!(tail.efficiency_log, batch.efficiency_log);
+        assert_eq!(tail.eval_queries.len(), batch.eval_queries.len());
+        for (a, b) in tail.eval_queries.iter().zip(&batch.eval_queries) {
+            assert_eq!(a.terms, b.terms);
+            assert_eq!(a.relevant, b.relevant);
+        }
+    }
+
+    #[test]
+    fn finish_drains_unpulled_documents() {
+        let cfg = CollectionConfig::tiny();
+        let batch = SyntheticCollection::generate(&cfg);
+        // Pull only one small chunk, then finish: the efficiency log must
+        // still match (the remaining docs are drawn and discarded).
+        let mut stream = CollectionStream::new(&cfg);
+        let _ = stream.next_chunk(10);
+        let tail = stream.finish();
+        assert_eq!(tail.efficiency_log, batch.efficiency_log);
+    }
+
+    #[test]
+    fn docs_remaining_counts_down() {
+        let cfg = CollectionConfig::tiny();
+        let mut stream = CollectionStream::new(&cfg);
+        assert_eq!(stream.docs_remaining(), cfg.num_docs);
+        let chunk = stream.next_chunk(100).unwrap();
+        assert_eq!(chunk.len(), 100);
+        assert_eq!(stream.docs_remaining(), cfg.num_docs - 100);
+        while stream.next_chunk(100).is_some() {}
+        assert_eq!(stream.docs_remaining(), 0);
+    }
+
+    #[test]
+    fn exhausted_stream_yields_none() {
+        let cfg = CollectionConfig::tiny();
+        let mut stream = CollectionStream::new(&cfg);
+        while stream.next_chunk(512).is_some() {}
+        assert!(stream.next_chunk(512).is_none());
+    }
+
+    #[test]
+    fn vocab_matches_batch() {
+        let cfg = CollectionConfig::tiny();
+        let stream = CollectionStream::new(&cfg);
+        assert_eq!(stream.vocab(), SyntheticCollection::generate(&cfg).vocab);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let mut stream = CollectionStream::new(&CollectionConfig::tiny());
+        let _ = stream.next_chunk(0);
+    }
+}

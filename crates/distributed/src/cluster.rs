@@ -11,8 +11,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use x100_corpus::SyntheticCollection;
-use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy};
+use x100_corpus::{CollectionStream, CollectionTail, SyntheticCollection};
+use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy, StreamingIndexBuilder};
 use x100_storage::{BufferManager, BufferMode, DiskModel};
 
 use crate::partition::{partition_collection, Partition};
@@ -87,6 +87,80 @@ impl SimulatedCluster {
                     }
                 },
             )
+            .collect();
+        SimulatedCluster { nodes }
+    }
+
+    /// Builds the cluster by *streaming* the collection: documents are
+    /// routed round-robin by global docid to per-partition
+    /// [`StreamingIndexBuilder`]s as each chunk arrives, and dropped
+    /// immediately after — the `medium`/`large` scale path, where
+    /// materializing per-partition [`SyntheticCollection`]s (each carrying
+    /// a full vocabulary and query-log copy) would dominate memory.
+    ///
+    /// Returns the cluster together with the workload tail (judged queries
+    /// + efficiency log), which only exists once the stream is drained.
+    ///
+    /// # Panics
+    /// Panics if `num_partitions == 0`.
+    pub fn build_streaming(
+        mut stream: CollectionStream,
+        num_partitions: usize,
+        index_config: &IndexConfig,
+        chunk_size: usize,
+    ) -> (Self, CollectionTail) {
+        assert!(num_partitions > 0, "at least one partition required");
+        let vocab = stream.vocab();
+        let mut builders: Vec<StreamingIndexBuilder> = (0..num_partitions)
+            .map(|_| StreamingIndexBuilder::new(vocab.len(), index_config))
+            .collect();
+        let mut global_ids: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
+        while let Some(chunk) = stream.next_chunk(chunk_size) {
+            for doc in &chunk {
+                let p = (doc.id as usize) % num_partitions;
+                builders[p].push_doc(&doc.name, &doc.terms, doc.len);
+                global_ids[p].push(doc.id);
+            }
+        }
+        let tail = stream.finish();
+        let parts = builders.into_iter().zip(global_ids).collect();
+        (Self::from_partition_builders(parts, &vocab), tail)
+    }
+
+    /// Assembles a cluster from per-partition streaming builders and their
+    /// local→global docid mappings (entry `i` of a partition's mapping is
+    /// the global docid of the `i`-th document pushed to its builder).
+    /// Useful when the caller drives one [`CollectionStream`] into several
+    /// consumers at once and routes documents itself.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or a mapping's length disagrees with its
+    /// builder's document count.
+    pub fn from_partition_builders(
+        parts: Vec<(StreamingIndexBuilder, Vec<u32>)>,
+        vocab: &[String],
+    ) -> Self {
+        assert!(!parts.is_empty(), "at least one partition required");
+        let nodes = parts
+            .into_iter()
+            .map(|(builder, global_ids)| {
+                assert_eq!(
+                    builder.num_docs(),
+                    global_ids.len(),
+                    "global-id mapping does not cover the partition"
+                );
+                let index = builder.finish(vocab);
+                let buffers = Arc::new(BufferManager::with_mode(
+                    DiskModel::instant(),
+                    BufferMode::Hot,
+                    0,
+                ));
+                Node {
+                    index,
+                    global_ids,
+                    buffers,
+                }
+            })
             .collect();
         SimulatedCluster { nodes }
     }
@@ -269,5 +343,41 @@ mod tests {
     fn empty_query_returns_empty() {
         let (_, cluster) = setup(2);
         assert!(cluster.search(&[], SearchStrategy::Bm25, 10).is_empty());
+    }
+
+    #[test]
+    fn streaming_build_equals_batch_build() {
+        let cfg = CollectionConfig::tiny();
+        let (c, batch) = setup(3);
+        let stream = CollectionStream::new(&cfg);
+        let (streamed, tail) =
+            SimulatedCluster::build_streaming(stream, 3, &IndexConfig::compressed(), 64);
+        assert_eq!(streamed.num_nodes(), batch.num_nodes());
+        for (a, b) in streamed.nodes().iter().zip(batch.nodes()) {
+            assert_eq!(a.global_ids, b.global_ids);
+            assert_eq!(
+                a.index().td().column("docid").unwrap().read_all(),
+                b.index().td().column("docid").unwrap().read_all()
+            );
+            assert_eq!(
+                a.index().td().column("tf").unwrap().read_all(),
+                b.index().td().column("tf").unwrap().read_all()
+            );
+        }
+        assert_eq!(tail.efficiency_log, c.efficiency_log);
+        // Merged search results agree exactly.
+        for q in c.eval_queries.iter().take(3) {
+            assert_eq!(
+                streamed.search(&q.terms, SearchStrategy::Bm25, 10),
+                batch.search(&q.terms, SearchStrategy::Bm25, 10)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn streaming_zero_partitions_rejected() {
+        let stream = CollectionStream::new(&CollectionConfig::tiny());
+        let _ = SimulatedCluster::build_streaming(stream, 0, &IndexConfig::compressed(), 64);
     }
 }

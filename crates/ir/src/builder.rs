@@ -1,0 +1,234 @@
+//! Incremental index construction — the scale path's build side.
+//!
+//! [`InvertedIndex::build`] wants the whole collection in memory; at
+//! `medium`/`large` scale documents arrive in chunks from a
+//! [`x100_corpus::CollectionStream`] and must be dropped as soon as their
+//! postings are accounted. [`StreamingIndexBuilder`] accepts documents one
+//! at a time (docids assigned densely in arrival order, matching the
+//! stream's global order), accumulates per-term posting lists — which stay
+//! docid-sorted for free because arrival order is docid order — and
+//! [`finish`](StreamingIndexBuilder::finish)es into exactly the same
+//! [`InvertedIndex`] the batch path produces.
+//!
+//! Peak memory is the postings themselves (8 bytes each, the same
+//! intermediate the batch scatter uses) plus one document chunk, instead of
+//! postings *plus* the whole materialized collection.
+
+use x100_corpus::{CollectionStream, CollectionTail, Document};
+
+use crate::index::{IndexConfig, InvertedIndex};
+
+/// Builds an [`InvertedIndex`] from documents pushed in docid order.
+///
+/// ```
+/// use x100_corpus::{CollectionConfig, SyntheticCollection};
+/// use x100_ir::{IndexConfig, InvertedIndex, StreamingIndexBuilder};
+///
+/// let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+/// let mut b = StreamingIndexBuilder::new(c.vocab.len(), &IndexConfig::default());
+/// for doc in &c.docs {
+///     b.push_doc(&doc.name, &doc.terms, doc.len);
+/// }
+/// let streamed = b.finish(&c.vocab);
+/// let batch = InvertedIndex::build(&c, &IndexConfig::default());
+/// assert_eq!(streamed.num_postings(), batch.num_postings());
+/// ```
+#[derive(Debug)]
+pub struct StreamingIndexBuilder {
+    config: IndexConfig,
+    /// Per-term posting list, packed `docid << 32 | tf` to keep the
+    /// accumulator at 8 bytes per posting.
+    postings: Vec<Vec<u64>>,
+    doc_names: Vec<String>,
+    doc_lens: Vec<i32>,
+}
+
+impl StreamingIndexBuilder {
+    /// A builder over a vocabulary of `num_terms` term ids.
+    pub fn new(num_terms: usize, config: &IndexConfig) -> Self {
+        StreamingIndexBuilder {
+            config: config.clone(),
+            postings: vec![Vec::new(); num_terms],
+            doc_names: Vec::new(),
+            doc_lens: Vec::new(),
+        }
+    }
+
+    /// Documents accepted so far (= the next docid to be assigned).
+    pub fn num_docs(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Postings accumulated so far.
+    pub fn num_postings(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum()
+    }
+
+    /// Accepts the next document and returns its assigned dense docid.
+    ///
+    /// `terms` must be sorted by term id with in-vocabulary ids, as
+    /// [`Document::terms`] guarantees.
+    ///
+    /// # Panics
+    /// Panics if a term id is out of range for the builder's vocabulary.
+    pub fn push_doc(&mut self, name: &str, terms: &[(u32, u32)], len: u32) -> u32 {
+        let docid = self.doc_lens.len() as u32;
+        for &(t, tf) in terms {
+            self.postings[t as usize].push((u64::from(docid) << 32) | u64::from(tf));
+        }
+        self.doc_names.push(name.to_owned());
+        self.doc_lens.push(len as i32);
+        docid
+    }
+
+    /// Accepts a chunk of documents in order (each keeps the docid the
+    /// builder assigns, not the one in [`Document::id`] — partition-local
+    /// builders renumber on purpose).
+    pub fn push_docs<'a>(&mut self, docs: impl IntoIterator<Item = &'a Document>) {
+        for doc in docs {
+            self.push_doc(&doc.name, &doc.terms, doc.len);
+        }
+    }
+
+    /// Assembles the index. `vocab` maps term ids to strings and must cover
+    /// every id the builder was constructed for.
+    pub fn finish(self, vocab: &[String]) -> InvertedIndex {
+        assert_eq!(
+            vocab.len(),
+            self.postings.len(),
+            "vocabulary size does not match the builder's term count"
+        );
+        let num_terms = self.postings.len();
+        let mut doc_freqs = vec![0u32; num_terms];
+        let mut offsets = vec![0usize; num_terms + 1];
+        for t in 0..num_terms {
+            doc_freqs[t] = self.postings[t].len() as u32;
+            offsets[t + 1] = offsets[t] + self.postings[t].len();
+        }
+        let total = offsets[num_terms];
+        let mut docid_col = Vec::with_capacity(total);
+        let mut tf_col = Vec::with_capacity(total);
+        for list in &self.postings {
+            for &packed in list {
+                docid_col.push((packed >> 32) as u32);
+                tf_col.push(packed as u32);
+            }
+        }
+        InvertedIndex::from_postings(
+            self.config,
+            vocab,
+            self.doc_names,
+            self.doc_lens,
+            doc_freqs,
+            offsets,
+            docid_col,
+            tf_col,
+        )
+    }
+}
+
+/// Drives a [`CollectionStream`] to completion through a
+/// [`StreamingIndexBuilder`]: generate → index without ever materializing
+/// the collection. Returns the index together with the workload tail
+/// (judged queries + efficiency log).
+pub fn build_index_streaming(
+    mut stream: CollectionStream,
+    index_config: &IndexConfig,
+    chunk_size: usize,
+) -> (InvertedIndex, CollectionTail) {
+    let vocab = stream.vocab();
+    let mut builder = StreamingIndexBuilder::new(vocab.len(), index_config);
+    while let Some(chunk) = stream.next_chunk(chunk_size) {
+        builder.push_docs(&chunk);
+    }
+    let tail = stream.finish();
+    (builder.finish(&vocab), tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x100_corpus::{CollectionConfig, SyntheticCollection};
+
+    fn assert_indexes_equal(a: &InvertedIndex, b: &InvertedIndex, vocab_len: usize) {
+        assert_eq!(a.num_postings(), b.num_postings());
+        assert_eq!(
+            a.td().column("docid").unwrap().read_all(),
+            b.td().column("docid").unwrap().read_all()
+        );
+        assert_eq!(
+            a.td().column("tf").unwrap().read_all(),
+            b.td().column("tf").unwrap().read_all()
+        );
+        for t in 0..vocab_len as u32 {
+            assert_eq!(a.term_range(t), b.term_range(t), "term {t}");
+            assert_eq!(a.doc_freq(t), b.doc_freq(t), "term {t}");
+        }
+        assert_eq!(a.doc_lens(), b.doc_lens());
+        assert_eq!(a.stats().num_docs, b.stats().num_docs);
+        assert_eq!(a.stats().avg_doc_len, b.stats().avg_doc_len);
+    }
+
+    #[test]
+    fn streaming_build_equals_batch_build() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        for config in [
+            IndexConfig::uncompressed(),
+            IndexConfig::compressed(),
+            IndexConfig::materialized_f32(),
+            IndexConfig::materialized_q8(),
+        ] {
+            let batch = InvertedIndex::build(&c, &config);
+            let mut b = StreamingIndexBuilder::new(c.vocab.len(), &config);
+            // Ragged chunking must not matter.
+            for chunk in c.docs.chunks(37) {
+                b.push_docs(chunk);
+            }
+            let streamed = b.finish(&c.vocab);
+            assert_indexes_equal(&streamed, &batch, c.vocab.len());
+            if config.materialize != crate::index::Materialize::None {
+                assert_eq!(
+                    streamed.td().column("score").unwrap().read_all(),
+                    batch.td().column("score").unwrap().read_all()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_index_streaming_end_to_end() {
+        let cfg = CollectionConfig::tiny();
+        let c = SyntheticCollection::generate(&cfg);
+        let batch = InvertedIndex::build(&c, &IndexConfig::compressed());
+        let stream = x100_corpus::CollectionStream::new(&cfg);
+        let (streamed, tail) = build_index_streaming(stream, &IndexConfig::compressed(), 64);
+        assert_indexes_equal(&streamed, &batch, c.vocab.len());
+        assert_eq!(tail.efficiency_log, c.efficiency_log);
+        assert_eq!(streamed.term_id("term3"), Some(3));
+        assert_eq!(streamed.doc_name(0), Some("doc-00000000"));
+    }
+
+    #[test]
+    fn empty_builder_finishes() {
+        let b = StreamingIndexBuilder::new(5, &IndexConfig::default());
+        let idx = b.finish(&(0..5).map(|t| format!("term{t}")).collect::<Vec<_>>());
+        assert_eq!(idx.num_postings(), 0);
+        assert_eq!(idx.term_range(0), 0..0);
+    }
+
+    #[test]
+    fn docids_assigned_densely() {
+        let mut b = StreamingIndexBuilder::new(3, &IndexConfig::uncompressed());
+        assert_eq!(b.push_doc("a", &[(0, 1)], 1), 0);
+        assert_eq!(b.push_doc("b", &[(1, 2), (2, 1)], 3), 1);
+        assert_eq!(b.num_docs(), 2);
+        assert_eq!(b.num_postings(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary size")]
+    fn vocab_mismatch_rejected() {
+        let b = StreamingIndexBuilder::new(5, &IndexConfig::default());
+        let _ = b.finish(&["only".to_owned()]);
+    }
+}

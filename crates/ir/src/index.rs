@@ -120,44 +120,39 @@ pub struct InvertedIndex {
 }
 
 impl InvertedIndex {
-    /// Builds the index from a collection.
+    /// Builds the index from a materialized collection.
+    ///
+    /// Equivalent to pushing every document through a
+    /// [`crate::StreamingIndexBuilder`] — which is exactly how it is
+    /// implemented; the streaming path is the only build path.
     pub fn build(collection: &SyntheticCollection, config: &IndexConfig) -> Self {
-        let num_terms = collection.vocab.len();
-        let num_docs = collection.docs.len();
+        let mut builder =
+            crate::builder::StreamingIndexBuilder::new(collection.vocab.len(), config);
+        builder.push_docs(&collection.docs);
+        builder.finish(&collection.vocab)
+    }
 
-        // Pass 1: document frequencies (= posting-list lengths).
-        let mut doc_freqs = vec![0u32; num_terms];
-        let mut total_postings = 0usize;
-        for doc in &collection.docs {
-            for &(t, _) in &doc.terms {
-                doc_freqs[t as usize] += 1;
-                total_postings += 1;
-            }
-        }
+    /// Assembles an index from (term, docid)-sorted posting columns — the
+    /// shared back half of the batch and streaming build paths.
+    ///
+    /// `offsets[t]..offsets[t + 1]` must be term `t`'s row range in
+    /// `docid_col`/`tf_col`, with docids ascending within each range.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_postings(
+        config: IndexConfig,
+        vocab: &[String],
+        doc_names: Vec<String>,
+        doc_lens: Vec<i32>,
+        doc_freqs: Vec<u32>,
+        offsets: Vec<usize>,
+        docid_col: Vec<u32>,
+        tf_col: Vec<u32>,
+    ) -> Self {
+        let num_terms = vocab.len();
+        let num_docs = doc_lens.len();
+        let total_postings = docid_col.len();
 
-        // Prefix offsets give each term its contiguous TD range.
-        let mut offsets = vec![0usize; num_terms + 1];
-        for t in 0..num_terms {
-            offsets[t + 1] = offsets[t] + doc_freqs[t] as usize;
-        }
-
-        // Pass 2: scatter postings into (term, docid)-sorted order.
-        // Documents are visited in docid order, so each term's slice fills
-        // in ascending docid order — the sort comes for free.
-        let mut docid_col = vec![0u32; total_postings];
-        let mut tf_col = vec![0u32; total_postings];
-        let mut cursor = offsets.clone();
-        for doc in &collection.docs {
-            for &(t, tf) in &doc.terms {
-                let slot = cursor[t as usize];
-                docid_col[slot] = doc.id;
-                tf_col[slot] = tf;
-                cursor[t as usize] += 1;
-            }
-        }
-
-        let doc_lens: Arc<Vec<i32>> =
-            Arc::new(collection.docs.iter().map(|d| d.len as i32).collect());
+        let doc_lens: Arc<Vec<i32>> = Arc::new(doc_lens);
         let avg_doc_len = if num_docs == 0 {
             1.0
         } else {
@@ -220,19 +215,15 @@ impl InvertedIndex {
         }
 
         let term_ranges = (0..num_terms).map(|t| offsets[t]..offsets[t + 1]).collect();
-        let term_dict = collection
-            .vocab
+        let term_dict = vocab
             .iter()
             .enumerate()
             .map(|(t, s)| (s.clone(), t as u32))
             .collect();
-        let doc_names = StringColumn::new(
-            "name",
-            collection.docs.iter().map(|d| d.name.clone()).collect(),
-        );
+        let doc_names = StringColumn::new("name", doc_names);
 
         InvertedIndex {
-            config: config.clone(),
+            config,
             td,
             term_ranges,
             doc_names,

@@ -35,12 +35,14 @@
 
 pub mod bm25;
 pub mod boolean;
+pub mod builder;
 pub mod engine;
 pub mod index;
 pub mod skipping;
 
 pub use bm25::{Bm25Params, CollectionStats, Quantizer};
 pub use boolean::BooleanQuery;
+pub use builder::{build_index_streaming, StreamingIndexBuilder};
 pub use engine::{QueryEngine, SearchResponse, SearchResult, SearchStrategy};
 pub use index::{IndexConfig, InvertedIndex, Materialize};
 pub use skipping::{intersect_skipping, PostingCursor};

@@ -31,6 +31,8 @@
 //! assert_eq!(v.as_i32(), &[7, 9]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod batch;
 pub mod selection;
 pub mod types;

@@ -66,11 +66,17 @@ impl fmt::Display for ValueType {
 /// primitives work on raw typed slices.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// An unsigned byte (quantized scores, PDICT codes).
     U8(u8),
+    /// A 32-bit signed integer (docids, term frequencies, lengths).
     I32(i32),
+    /// A 64-bit signed integer (aggregates, counts).
     I64(i64),
+    /// A 32-bit float (BM25 scores).
     F32(f32),
+    /// A 64-bit float (aggregate sums).
     F64(f64),
+    /// A string (document names).
     Str(String),
 }
 

@@ -14,11 +14,17 @@ use crate::types::{Value, ValueType};
 /// the `match`) is amortized over `VectorSize` values.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VectorData {
+    /// Unsigned bytes (quantized scores, PDICT codes).
     U8(Vec<u8>),
+    /// 32-bit signed integers (docids, term frequencies, lengths).
     I32(Vec<i32>),
+    /// 64-bit signed integers (aggregates, counts).
     I64(Vec<i64>),
+    /// 32-bit floats (BM25 scores).
     F32(Vec<f32>),
+    /// 64-bit floats (aggregate sums).
     F64(Vec<f64>),
+    /// Strings (document names).
     Str(Vec<String>),
 }
 

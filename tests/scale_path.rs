@@ -1,0 +1,133 @@
+//! Integration tests for the `--scale` path: streamed generation feeding
+//! streamed index construction and the streamed cluster build, end to end.
+//!
+//! The fast tests pin the streaming/batch equivalence at `tiny`/`small`;
+//! the `medium`-scale roundtrip (100 k documents, ~16 M postings) is gated
+//! behind `--ignored` so the default test loop stays quick:
+//!
+//! ```sh
+//! cargo test --release -q medium_scale -- --ignored
+//! ```
+
+use monetdb_x100::corpus::{CollectionStream, Scale, SyntheticCollection};
+use monetdb_x100::distributed::SimulatedCluster;
+use monetdb_x100::ir::{
+    build_index_streaming, IndexConfig, InvertedIndex, QueryEngine, SearchStrategy,
+};
+
+#[test]
+fn scale_ladder_parses_and_orders() {
+    assert_eq!("medium".parse::<Scale>().unwrap(), Scale::Medium);
+    let docs: Vec<usize> = Scale::ALL.iter().map(|s| s.config().num_docs).collect();
+    assert!(docs.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn streamed_pipeline_matches_batch_at_small_scale() {
+    let cfg = Scale::Small.config();
+    let collection = SyntheticCollection::generate(&cfg);
+    let batch = InvertedIndex::build(&collection, &IndexConfig::compressed());
+
+    let stream = CollectionStream::new(&cfg);
+    let (streamed, tail) = build_index_streaming(
+        stream,
+        &IndexConfig::compressed(),
+        Scale::Small.chunk_size(),
+    );
+
+    assert_eq!(streamed.num_postings(), batch.num_postings());
+    assert_eq!(tail.efficiency_log, collection.efficiency_log);
+
+    // Identical top-20 rankings on both indexes.
+    let (be, se) = (QueryEngine::new(&batch), QueryEngine::new(&streamed));
+    for q in collection.eval_queries.iter().take(5) {
+        let b: Vec<u32> = be
+            .search(&q.terms, SearchStrategy::Bm25TwoPass, 20)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        let s: Vec<u32> = se
+            .search(&q.terms, SearchStrategy::Bm25TwoPass, 20)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        assert_eq!(b, s);
+    }
+}
+
+/// The acceptance roundtrip: `medium` scale end-to-end — streamed generate
+/// → streamed index → query → streamed cluster build → distributed merge —
+/// with the merged results checked against the single-node engine.
+///
+/// Ignored by default (takes tens of seconds in release mode); the CI
+/// weekly smoke job and `cargo test --release -- --ignored` run it.
+#[test]
+#[ignore = "medium scale: run explicitly with --ignored (release mode recommended)"]
+fn medium_scale_roundtrip_end_to_end() {
+    let scale = Scale::Medium;
+    let cfg = scale.config();
+
+    // Generate + index in one streamed pass.
+    let stream = CollectionStream::new(&cfg);
+    let (index, tail) =
+        build_index_streaming(stream, &IndexConfig::compressed(), scale.chunk_size());
+    assert_eq!(index.stats().num_docs as usize, cfg.num_docs);
+    assert!(index.num_postings() > cfg.num_docs); // many postings per doc
+    assert_eq!(tail.efficiency_log.len(), cfg.num_efficiency_queries);
+
+    // Compression did its job on the hot columns (§3.3 accounting).
+    assert!(index.column_bits_per_tuple("docid") < 16.0);
+    assert!(index.column_bits_per_tuple("tf") < 10.0);
+
+    // Query: the judged set must rank planted-relevant docs highly.
+    let engine = QueryEngine::new(&index);
+    let mut p20 = 0.0;
+    for q in &tail.eval_queries {
+        let ranked: Vec<u32> = engine
+            .search(&q.terms, SearchStrategy::Bm25TwoPass, 20)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        p20 += monetdb_x100::corpus::precision_at_k(&ranked, &q.relevant, 20);
+    }
+    p20 /= tail.eval_queries.len() as f64;
+    assert!(p20 > 0.5, "medium-scale p@20 {p20} too low");
+
+    // Distributed: a second streamed pass builds the cluster; the merged
+    // top-20 must strongly overlap the single-node ranking.
+    let stream = CollectionStream::new(&cfg);
+    let (cluster, _) = SimulatedCluster::build_streaming(
+        stream,
+        8,
+        &IndexConfig::compressed(),
+        scale.chunk_size(),
+    );
+    assert_eq!(cluster.num_nodes(), 8);
+    let mut overlap = 0usize;
+    let mut total = 0usize;
+    for q in tail.eval_queries.iter().take(10) {
+        let single: Vec<u32> = engine
+            .search(&q.terms, SearchStrategy::Bm25TwoPass, 20)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.docid)
+            .collect();
+        let merged = cluster.search(&q.terms, SearchStrategy::Bm25TwoPass, 20);
+        overlap += single
+            .iter()
+            .filter(|d| merged.iter().any(|m| m.docid == **d))
+            .count();
+        total += single.len();
+    }
+    assert!(
+        overlap * 100 >= total * 70,
+        "merged/single overlap {overlap}/{total}"
+    );
+}
