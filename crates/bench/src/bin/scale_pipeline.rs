@@ -4,20 +4,35 @@
 //!
 //! This is the `--scale` path's end-to-end exerciser and the CI smoke job's
 //! workload. Generation is streamed ([`x100_corpus::CollectionStream`]) and
-//! consumed chunk-by-chunk by *both* the single-node
-//! [`x100_ir::StreamingIndexBuilder`] and the per-partition builders of the
-//! cluster, so the collection is generated exactly once and never resident:
-//! peak memory is the indexes plus one document chunk, whatever the scale.
+//! consumed chunk-by-chunk by *both* the single-node builder and the
+//! per-partition builders of the cluster, so the collection is generated
+//! exactly once and never resident.
 //!
-//! Usage: `scale_pipeline [--scale tiny|small|medium|large] [--partitions N] [--queries N]`
-//! (defaults: small, 8 partitions, 200 measured queries)
+//! All index construction goes through [`x100_ir::SpillingIndexBuilder`].
+//! Without `--mem-budget` the budget is unbounded — the builder never
+//! touches disk and behaves exactly like the in-memory path. With
+//! `--mem-budget SIZE` (e.g. `64M`) the posting accumulators are split
+//! half to the full index and half across the partition builders; each
+//! flushes sorted run files when its share fills and k-way merges them at
+//! finish, so even `--scale large` builds in bounded accumulator memory.
+//! The budget is **asserted in-process**: peak accumulator bytes (full +
+//! all partitions) must come in at or under it. `BENCH_scale.json` gains
+//! the accumulator peak, run counts, spill I/O and the OS-reported peak
+//! RSS.
+//!
+//! Usage: `scale_pipeline [--scale tiny|small|medium|large] [--mem-budget SIZE]
+//! [--partitions N] [--queries N]`
+//! (defaults: small, unbounded, 8 partitions, 200 measured queries)
 
 use std::time::Instant;
 
-use x100_bench::{fmt_ms, take_scale_flag_or_exit, write_trajectory, Json, TablePrinter};
+use x100_bench::{
+    fmt_ms, peak_rss_bytes, take_mem_budget_flag_or_exit, take_scale_flag_or_exit,
+    write_trajectory, Json, TablePrinter,
+};
 use x100_corpus::{precision_at_k, CollectionStream, Scale};
 use x100_distributed::SimulatedCluster;
-use x100_ir::{IndexConfig, QueryEngine, SearchStrategy, StreamingIndexBuilder};
+use x100_ir::{IndexConfig, QueryEngine, SearchStrategy, SpillConfig, SpillingIndexBuilder};
 
 const TOP_N: usize = 20;
 const STRATEGY: SearchStrategy = SearchStrategy::Bm25TwoPass;
@@ -39,6 +54,7 @@ fn take_usize_flag(args: &mut Vec<String>, name: &str, default: usize) -> usize 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let scale = take_scale_flag_or_exit(&mut args).unwrap_or(Scale::Small);
+    let mem_budget = take_mem_budget_flag_or_exit(&mut args);
     let partitions = take_usize_flag(&mut args, "--partitions", 8);
     let num_queries = take_usize_flag(&mut args, "--queries", 200);
     if partitions == 0 {
@@ -48,29 +64,66 @@ fn main() {
     let cfg = scale.config();
     let chunk = scale.chunk_size();
 
+    // Budget split: half to the full single-node index, half shared by the
+    // partition builders — their accumulators coexist in this process, so
+    // together they must stay under the flag's value. Each share must
+    // comfortably exceed the largest single document (a builder's peak is
+    // max(share, largest doc)), or the in-process budget assert below
+    // could not be honoured; 64 KiB per accumulator is orders of magnitude
+    // above any generated document at every scale.
+    const MIN_SHARE: usize = 64 << 10;
+    if let Some(b) = mem_budget {
+        let min_budget = 2 * MIN_SHARE * partitions.max(2);
+        if b < min_budget {
+            eprintln!(
+                "error: --mem-budget {b} too small for {partitions} partitions \
+                 (need at least {min_budget} bytes: 64 KiB per accumulator)"
+            );
+            std::process::exit(2);
+        }
+    }
+    let (full_budget, node_budget) = match mem_budget {
+        Some(b) => (b / 2, b / 2 / partitions),
+        None => (usize::MAX, usize::MAX),
+    };
+
     eprintln!(
-        "scale={scale}: {} docs, vocab {}, chunk {chunk}, {partitions} partitions",
-        cfg.num_docs, cfg.vocab_size
+        "scale={scale}: {} docs, vocab {}, chunk {chunk}, {partitions} partitions, budget {}",
+        cfg.num_docs,
+        cfg.vocab_size,
+        mem_budget.map_or("unbounded".into(), |b| format!("{b} bytes")),
     );
 
     // Stage 1 — one streamed generation pass feeding every index builder.
     let t0 = Instant::now();
     let mut stream = CollectionStream::new(&cfg);
     let vocab = stream.vocab();
-    let mut full = StreamingIndexBuilder::new(vocab.len(), &IndexConfig::compressed());
-    let mut nodes: Vec<(StreamingIndexBuilder, Vec<u32>)> = (0..partitions)
+    let mut full = SpillingIndexBuilder::new(
+        vocab.len(),
+        &IndexConfig::compressed(),
+        SpillConfig::with_budget(full_budget),
+    );
+    let mut nodes: Vec<(SpillingIndexBuilder, Vec<u32>)> = (0..partitions)
         .map(|_| {
             (
-                StreamingIndexBuilder::new(vocab.len(), &IndexConfig::compressed()),
+                SpillingIndexBuilder::new(
+                    vocab.len(),
+                    &IndexConfig::compressed(),
+                    SpillConfig::with_budget(node_budget),
+                ),
                 Vec::new(),
             )
         })
         .collect();
-    while let Some(docs) = stream.next_chunk(chunk) {
+    let mut docs = Vec::new();
+    while stream.next_chunk_into(chunk, &mut docs) > 0 {
         for doc in &docs {
-            full.push_doc(&doc.name, &doc.terms, doc.len);
+            full.push_doc(&doc.name, &doc.terms, doc.len)
+                .expect("full-index spill");
             let (builder, global_ids) = &mut nodes[doc.id as usize % partitions];
-            builder.push_doc(&doc.name, &doc.terms, doc.len);
+            builder
+                .push_doc(&doc.name, &doc.terms, doc.len)
+                .expect("partition spill");
             global_ids.push(doc.id);
         }
     }
@@ -78,14 +131,39 @@ fn main() {
     let generate_index_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let index = full.finish(&vocab);
-    let cluster = SimulatedCluster::from_partition_builders(nodes, &vocab);
+    let (index, full_stats) = full.finish(&vocab).expect("full-index merge");
+    let mut node_stats = Vec::with_capacity(partitions);
+    let mut parts = Vec::with_capacity(partitions);
+    for (builder, ids) in nodes {
+        let (idx, s) = builder.finish(&vocab).expect("partition merge");
+        node_stats.push(s);
+        parts.push((idx, ids));
+    }
+    let cluster = SimulatedCluster::from_partition_indexes(parts);
     let finish_s = t1.elapsed().as_secs_f64();
+
+    // Spill accounting — and the in-process budget guarantee.
+    let peak_accum =
+        full_stats.peak_accum_bytes + node_stats.iter().map(|s| s.peak_accum_bytes).sum::<usize>();
+    let spill_runs = full_stats.runs + node_stats.iter().map(|s| s.runs).sum::<usize>();
+    let mut spill_io = full_stats.total_io();
+    for s in &node_stats {
+        spill_io.merge(&s.total_io());
+    }
+    if let Some(budget) = mem_budget {
+        assert!(
+            peak_accum <= budget,
+            "peak accumulator bytes {peak_accum} exceeded --mem-budget {budget}"
+        );
+    }
     eprintln!(
-        "indexed {} postings in {:.2}s (+{:.2}s column build)",
+        "indexed {} postings in {:.2}s (+{:.2}s merge+column build); \
+         accumulator peak {:.1} MiB, {spill_runs} spill runs, {:.1} MiB spill I/O",
         index.num_postings(),
         generate_index_s,
-        finish_s
+        finish_s,
+        peak_accum as f64 / (1 << 20) as f64,
+        spill_io.bytes as f64 / (1 << 20) as f64,
     );
 
     // Stage 2 — single-node query throughput + effectiveness.
@@ -160,7 +238,17 @@ fn main() {
             index.num_postings()
         ),
     ]);
-    t.push_row(vec!["column build".into(), format!("{finish_s:.2}s")]);
+    t.push_row(vec![
+        "merge + column build".into(),
+        format!("{finish_s:.2}s"),
+    ]);
+    t.push_row(vec![
+        "posting accumulator peak".into(),
+        format!(
+            "{:.1} MiB ({spill_runs} spill runs)",
+            peak_accum as f64 / (1 << 20) as f64
+        ),
+    ]);
     t.push_row(vec![
         "single-node query".into(),
         format!(
@@ -189,6 +277,21 @@ fn main() {
         ("vocab_size", Json::Num(cfg.vocab_size as f64)),
         ("partitions", Json::Num(partitions as f64)),
         ("num_postings", Json::Num(index.num_postings() as f64)),
+        (
+            "mem_budget_bytes",
+            mem_budget.map_or(Json::Null, |b| Json::Num(b as f64)),
+        ),
+        ("peak_accum_bytes", Json::Num(peak_accum as f64)),
+        (
+            "peak_rss_bytes",
+            peak_rss_bytes().map_or(Json::Null, |b| Json::Num(b as f64)),
+        ),
+        ("spill_runs", Json::Num(spill_runs as f64)),
+        ("spill_io_bytes", Json::Num(spill_io.bytes as f64)),
+        (
+            "spill_io_sim_ms",
+            Json::Num(spill_io.sim_time.as_secs_f64() * 1e3),
+        ),
         ("generate_index_s", Json::Num(generate_index_s)),
         ("column_build_s", Json::Num(finish_s)),
         ("query_avg_ms", Json::Num(query_avg.as_secs_f64() * 1e3)),
@@ -197,5 +300,13 @@ fn main() {
         ("merge_avg_ms", Json::Num(merge_avg_ms)),
         ("overlap_pct", Json::Num(overlap_pct)),
     ]);
-    write_trajectory("BENCH_scale.json", &doc).expect("write BENCH_scale.json");
+    // Budgeted runs record to their own file: spill I/O inflates the build
+    // timings, so overwriting the unbudgeted baseline would make successive
+    // BENCH_scale.json diffs compare incompatible configurations.
+    let out = if mem_budget.is_some() {
+        "BENCH_scale_spill.json"
+    } else {
+        "BENCH_scale.json"
+    };
+    write_trajectory(out, &doc).unwrap_or_else(|e| panic!("write {out}: {e}"));
 }

@@ -17,25 +17,33 @@ use x100_corpus::Scale;
 /// Returns `Ok(None)` when the flag is absent, and an error when the flag
 /// has a bad value or no value at all.
 pub fn take_scale_flag(args: &mut Vec<String>) -> Result<Option<Scale>, ParseScaleError> {
-    let Some(pos) = args
+    match take_flag_value(args, "--scale") {
+        Some(raw) => raw.parse::<Scale>().map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Extracts `NAME VALUE` or `NAME=VALUE` from `args` (removing the
+/// consumed elements so positional parsing is unaffected). `None` when the
+/// flag is absent; a present flag with no value yields an empty string,
+/// which every value parser turns into a helpful error.
+fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let inline_prefix = format!("{name}=");
+    let pos = args
         .iter()
-        .position(|a| a == "--scale" || a.starts_with("--scale="))
-    else {
-        return Ok(None);
-    };
-    let raw = if let Some(inline) = args[pos].strip_prefix("--scale=") {
+        .position(|a| a == name || a.starts_with(&inline_prefix))?;
+    if let Some(inline) = args[pos].strip_prefix(&inline_prefix) {
         let value = inline.to_owned();
         args.remove(pos);
-        value
+        Some(value)
     } else {
         args.remove(pos);
         if pos < args.len() {
-            args.remove(pos)
+            Some(args.remove(pos))
         } else {
-            String::new() // missing value parses to a helpful error
+            Some(String::new())
         }
-    };
-    raw.parse::<Scale>().map(Some)
+    }
 }
 
 /// [`take_scale_flag`], exiting with a usage message on a bad value — the
@@ -43,6 +51,41 @@ pub fn take_scale_flag(args: &mut Vec<String>) -> Result<Option<Scale>, ParseSca
 pub fn take_scale_flag_or_exit(args: &mut Vec<String>) -> Option<Scale> {
     match take_scale_flag(args) {
         Ok(scale) => scale,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses a human memory size: plain bytes (`1048576`) or a `K`/`M`/`G`
+/// suffix in binary units (`64M` = 64 MiB), case-insensitive.
+pub fn parse_mem_size(s: &str) -> Result<usize, String> {
+    let s = s.trim();
+    let (digits, shift) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 10),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 20),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: usize = digits
+        .parse()
+        .map_err(|_| format!("bad memory size {s:?} (expected e.g. 64M, 512K, 1G or bytes)"))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("memory size {s:?} overflows"))
+}
+
+/// Extracts a `--mem-budget SIZE` or `--mem-budget=SIZE` flag from `args`,
+/// exiting with a usage message on a bad value. `None` when absent.
+pub fn take_mem_budget_flag_or_exit(args: &mut Vec<String>) -> Option<usize> {
+    let raw = take_flag_value(args, "--mem-budget")?;
+    match parse_mem_size(&raw) {
+        Ok(bytes) if bytes > 0 => Some(bytes),
+        Ok(_) => {
+            eprintln!("error: --mem-budget must be positive");
+            std::process::exit(2);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
@@ -89,5 +132,32 @@ mod tests {
     fn missing_value_errors() {
         let mut a = args(&["--scale"]);
         assert!(take_scale_flag(&mut a).is_err());
+    }
+
+    #[test]
+    fn mem_sizes_parse_binary_suffixes() {
+        assert_eq!(parse_mem_size("4096").unwrap(), 4096);
+        assert_eq!(parse_mem_size("512K").unwrap(), 512 << 10);
+        assert_eq!(parse_mem_size("64M").unwrap(), 64 << 20);
+        assert_eq!(parse_mem_size("64m").unwrap(), 64 << 20);
+        assert_eq!(parse_mem_size("2G").unwrap(), 2 << 30);
+        assert!(parse_mem_size("").is_err());
+        assert!(parse_mem_size("M").is_err());
+        assert!(parse_mem_size("12.5M").is_err());
+        assert!(parse_mem_size("lots").is_err());
+        assert!(parse_mem_size("99999999999999999999G").is_err());
+    }
+
+    #[test]
+    fn mem_budget_flag_forms() {
+        let mut a = args(&["--mem-budget", "64M", "rest"]);
+        assert_eq!(take_mem_budget_flag_or_exit(&mut a), Some(64 << 20));
+        assert_eq!(a, args(&["rest"]));
+        let mut a = args(&["--mem-budget=1G"]);
+        assert_eq!(take_mem_budget_flag_or_exit(&mut a), Some(1 << 30));
+        assert!(a.is_empty());
+        let mut a = args(&["--scale", "tiny"]);
+        assert_eq!(take_mem_budget_flag_or_exit(&mut a), None);
+        assert_eq!(a.len(), 2);
     }
 }

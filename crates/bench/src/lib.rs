@@ -10,10 +10,23 @@ pub mod cli;
 pub mod json;
 pub mod reference;
 
-pub use cli::{take_scale_flag, take_scale_flag_or_exit};
+pub use cli::{
+    parse_mem_size, take_mem_budget_flag_or_exit, take_scale_flag, take_scale_flag_or_exit,
+};
 pub use json::{write_trajectory, Json};
 
 use std::time::Duration;
+
+/// The process's peak resident set size (`VmHWM`) in bytes, when the
+/// platform exposes it (`/proc/self/status` on Linux); `None` elsewhere.
+/// Recorded into `BENCH_scale.json` so trajectory runs can watch real
+/// memory alongside the builders' own accounting.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
 
 /// Formats a duration as fractional milliseconds, Table-2 style.
 pub fn fmt_ms(d: Duration) -> String {
@@ -85,6 +98,16 @@ mod tests {
         assert!(s.contains("run"));
         assert!(s.contains("----"));
         assert!(s.contains("BM25"));
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_when_available() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // A running test process has touched at least a megabyte and
+            // (sanity bound) less than a terabyte.
+            assert!(bytes > 1 << 20, "peak RSS {bytes} implausibly small");
+            assert!(bytes < 1 << 40, "peak RSS {bytes} implausibly large");
+        }
     }
 
     #[test]

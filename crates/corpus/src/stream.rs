@@ -131,18 +131,29 @@ impl CollectionStream {
     /// Draws up to `max_docs` further documents, or `None` once the
     /// collection is exhausted.
     pub fn next_chunk(&mut self, max_docs: usize) -> Option<Vec<Document>> {
-        assert!(max_docs > 0, "chunk size must be positive");
-        if self.docs_remaining() == 0 {
-            return None;
+        let mut docs = Vec::new();
+        match self.next_chunk_into(max_docs, &mut docs) {
+            0 => None,
+            _ => Some(docs),
         }
+    }
+
+    /// Draws up to `max_docs` further documents into `out` (cleared first),
+    /// returning how many were produced — 0 means the collection is
+    /// exhausted. Long-running consumers (the budgeted spill builders, the
+    /// scale pipeline) reuse one chunk buffer across the whole stream
+    /// instead of allocating a fresh `Vec` per chunk.
+    pub fn next_chunk_into(&mut self, max_docs: usize, out: &mut Vec<Document>) -> usize {
+        assert!(max_docs > 0, "chunk size must be positive");
+        out.clear();
         let take = max_docs.min(self.docs_remaining());
-        let mut docs = Vec::with_capacity(take);
+        out.reserve(take);
         for _ in 0..take {
             let id = self.next_doc;
             self.next_doc += 1;
-            docs.push(self.draw_document(id));
+            out.push(self.draw_document(id));
         }
-        Some(docs)
+        take
     }
 
     /// One document, phase-2 style: Zipf term draws plus boosted injection
@@ -266,6 +277,21 @@ mod tests {
         assert_eq!(stream.docs_remaining(), cfg.num_docs - 100);
         while stream.next_chunk(100).is_some() {}
         assert_eq!(stream.docs_remaining(), 0);
+    }
+
+    #[test]
+    fn next_chunk_into_reuses_buffer_and_matches_batch() {
+        let cfg = CollectionConfig::tiny();
+        let batch = SyntheticCollection::generate(&cfg);
+        let mut stream = CollectionStream::new(&cfg);
+        let mut buf = Vec::new();
+        let mut docs = Vec::new();
+        while stream.next_chunk_into(77, &mut buf) > 0 {
+            docs.extend(buf.iter().cloned());
+        }
+        assert_eq!(docs, batch.docs);
+        assert_eq!(stream.next_chunk_into(77, &mut buf), 0);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -12,7 +12,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use x100_corpus::{CollectionStream, CollectionTail, SyntheticCollection};
-use x100_ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy, StreamingIndexBuilder};
+use x100_ir::{
+    IndexConfig, InvertedIndex, QueryEngine, SearchStrategy, SpillConfig, SpillError, SpillStats,
+    SpillingIndexBuilder, StreamingIndexBuilder,
+};
 use x100_storage::{BufferManager, BufferMode, DiskModel};
 
 use crate::partition::{partition_collection, Partition};
@@ -127,6 +130,84 @@ impl SimulatedCluster {
         (Self::from_partition_builders(parts, &vocab), tail)
     }
 
+    /// [`Self::build_streaming`] under a total posting-memory budget: each
+    /// partition gets an equal share of `budget_bytes` and spills sorted
+    /// runs to disk when its share fills ([`SpillingIndexBuilder`]), so the
+    /// whole cluster build's posting accumulators stay within the budget.
+    /// Returns per-partition [`SpillStats`] alongside the cluster and tail.
+    ///
+    /// # Panics
+    /// Panics if `num_partitions == 0`.
+    pub fn build_streaming_spill(
+        mut stream: CollectionStream,
+        num_partitions: usize,
+        index_config: &IndexConfig,
+        chunk_size: usize,
+        budget_bytes: usize,
+    ) -> Result<(Self, CollectionTail, Vec<SpillStats>), SpillError> {
+        assert!(num_partitions > 0, "at least one partition required");
+        let vocab = stream.vocab();
+        let per_partition = (budget_bytes / num_partitions).max(1);
+        let mut builders: Vec<SpillingIndexBuilder> = (0..num_partitions)
+            .map(|_| {
+                SpillingIndexBuilder::new(
+                    vocab.len(),
+                    index_config,
+                    SpillConfig::with_budget(per_partition),
+                )
+            })
+            .collect();
+        let mut global_ids: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
+        let mut chunk = Vec::new();
+        while stream.next_chunk_into(chunk_size, &mut chunk) > 0 {
+            for doc in &chunk {
+                let p = (doc.id as usize) % num_partitions;
+                builders[p].push_doc(&doc.name, &doc.terms, doc.len)?;
+                global_ids[p].push(doc.id);
+            }
+        }
+        let tail = stream.finish();
+        let mut stats = Vec::with_capacity(num_partitions);
+        let mut parts = Vec::with_capacity(num_partitions);
+        for (builder, ids) in builders.into_iter().zip(global_ids) {
+            let (index, s) = builder.finish(&vocab)?;
+            stats.push(s);
+            parts.push((index, ids));
+        }
+        Ok((Self::from_partition_indexes(parts), tail, stats))
+    }
+
+    /// Assembles a cluster from already-finished per-partition indexes and
+    /// their local→global docid mappings.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or a mapping's length disagrees with its
+    /// index's document count.
+    pub fn from_partition_indexes(parts: Vec<(InvertedIndex, Vec<u32>)>) -> Self {
+        assert!(!parts.is_empty(), "at least one partition required");
+        let nodes = parts
+            .into_iter()
+            .map(|(index, global_ids)| {
+                assert_eq!(
+                    index.stats().num_docs as usize,
+                    global_ids.len(),
+                    "global-id mapping does not cover the partition"
+                );
+                let buffers = Arc::new(BufferManager::with_mode(
+                    DiskModel::instant(),
+                    BufferMode::Hot,
+                    0,
+                ));
+                Node {
+                    index,
+                    global_ids,
+                    buffers,
+                }
+            })
+            .collect();
+        SimulatedCluster { nodes }
+    }
+
     /// Assembles a cluster from per-partition streaming builders and their
     /// local→global docid mappings (entry `i` of a partition's mapping is
     /// the global docid of the `i`-th document pushed to its builder).
@@ -141,28 +222,12 @@ impl SimulatedCluster {
         vocab: &[String],
     ) -> Self {
         assert!(!parts.is_empty(), "at least one partition required");
-        let nodes = parts
-            .into_iter()
-            .map(|(builder, global_ids)| {
-                assert_eq!(
-                    builder.num_docs(),
-                    global_ids.len(),
-                    "global-id mapping does not cover the partition"
-                );
-                let index = builder.finish(vocab);
-                let buffers = Arc::new(BufferManager::with_mode(
-                    DiskModel::instant(),
-                    BufferMode::Hot,
-                    0,
-                ));
-                Node {
-                    index,
-                    global_ids,
-                    buffers,
-                }
-            })
-            .collect();
-        SimulatedCluster { nodes }
+        Self::from_partition_indexes(
+            parts
+                .into_iter()
+                .map(|(builder, global_ids)| (builder.finish(vocab), global_ids))
+                .collect(),
+        )
     }
 
     /// Number of nodes.
@@ -370,6 +435,44 @@ mod tests {
             assert_eq!(
                 streamed.search(&q.terms, SearchStrategy::Bm25, 10),
                 batch.search(&q.terms, SearchStrategy::Bm25, 10)
+            );
+        }
+    }
+
+    #[test]
+    fn spill_streaming_build_equals_streaming_build() {
+        let cfg = CollectionConfig::tiny();
+        let (plain, _) = SimulatedCluster::build_streaming(
+            CollectionStream::new(&cfg),
+            3,
+            &IndexConfig::compressed(),
+            64,
+        );
+        let (spilled, tail, stats) = SimulatedCluster::build_streaming_spill(
+            CollectionStream::new(&cfg),
+            3,
+            &IndexConfig::compressed(),
+            64,
+            12 * 1024, // 4 KiB per partition: forces several runs each
+        )
+        .unwrap();
+        assert!(stats.iter().all(|s| s.runs > 0), "{stats:?}");
+        assert!(stats.iter().all(|s| s.peak_accum_bytes <= 4 * 1024));
+        for (a, b) in spilled.nodes().iter().zip(plain.nodes()) {
+            assert_eq!(a.global_ids, b.global_ids);
+            assert_eq!(
+                a.index().td().column("docid").unwrap().read_all(),
+                b.index().td().column("docid").unwrap().read_all()
+            );
+            assert_eq!(
+                a.index().td().column("tf").unwrap().read_all(),
+                b.index().td().column("tf").unwrap().read_all()
+            );
+        }
+        for q in tail.eval_queries.iter().take(3) {
+            assert_eq!(
+                spilled.search(&q.terms, SearchStrategy::Bm25, 10),
+                plain.search(&q.terms, SearchStrategy::Bm25, 10)
             );
         }
     }

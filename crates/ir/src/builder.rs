@@ -36,8 +36,11 @@ use crate::index::{IndexConfig, InvertedIndex};
 #[derive(Debug)]
 pub struct StreamingIndexBuilder {
     config: IndexConfig,
+    num_terms: usize,
     /// Per-term posting list, packed `docid << 32 | tf` to keep the
-    /// accumulator at 8 bytes per posting.
+    /// accumulator at 8 bytes per posting. Grown lazily to the highest
+    /// term id actually seen, so sparse or empty-vocab-tail workloads
+    /// never pay an O(vocab) allocation upfront.
     postings: Vec<Vec<u64>>,
     doc_names: Vec<String>,
     doc_lens: Vec<i32>,
@@ -48,7 +51,8 @@ impl StreamingIndexBuilder {
     pub fn new(num_terms: usize, config: &IndexConfig) -> Self {
         StreamingIndexBuilder {
             config: config.clone(),
-            postings: vec![Vec::new(); num_terms],
+            num_terms,
+            postings: Vec::new(),
             doc_names: Vec::new(),
             doc_lens: Vec::new(),
         }
@@ -74,7 +78,16 @@ impl StreamingIndexBuilder {
     pub fn push_doc(&mut self, name: &str, terms: &[(u32, u32)], len: u32) -> u32 {
         let docid = self.doc_lens.len() as u32;
         for &(t, tf) in terms {
-            self.postings[t as usize].push((u64::from(docid) << 32) | u64::from(tf));
+            let slot = t as usize;
+            assert!(
+                slot < self.num_terms,
+                "term id {t} out of range for vocabulary of {}",
+                self.num_terms
+            );
+            if slot >= self.postings.len() {
+                self.postings.resize_with(slot + 1, Vec::new);
+            }
+            self.postings[slot].push((u64::from(docid) << 32) | u64::from(tf));
         }
         self.doc_names.push(name.to_owned());
         self.doc_lens.push(len as i32);
@@ -90,20 +103,36 @@ impl StreamingIndexBuilder {
         }
     }
 
+    /// Drains the per-term accumulator (document metadata stays), returning
+    /// the packed posting lists indexed by term id — the spill path's flush
+    /// hook. Lists beyond the highest term seen since the last drain are
+    /// absent, matching the lazy growth.
+    pub(crate) fn take_term_lists(&mut self) -> Vec<Vec<u64>> {
+        std::mem::take(&mut self.postings)
+    }
+
+    /// Decomposes the builder into the parts the spill path's merge needs
+    /// to assemble an index itself: configuration and the D-table columns.
+    pub(crate) fn into_parts(self) -> (IndexConfig, Vec<String>, Vec<i32>) {
+        (self.config, self.doc_names, self.doc_lens)
+    }
+
     /// Assembles the index. `vocab` maps term ids to strings and must cover
     /// every id the builder was constructed for.
     pub fn finish(self, vocab: &[String]) -> InvertedIndex {
         assert_eq!(
             vocab.len(),
-            self.postings.len(),
+            self.num_terms,
             "vocabulary size does not match the builder's term count"
         );
-        let num_terms = self.postings.len();
+        let num_terms = self.num_terms;
         let mut doc_freqs = vec![0u32; num_terms];
         let mut offsets = vec![0usize; num_terms + 1];
         for t in 0..num_terms {
-            doc_freqs[t] = self.postings[t].len() as u32;
-            offsets[t + 1] = offsets[t] + self.postings[t].len();
+            // Terms past the lazily grown tail were never seen: empty lists.
+            let len = self.postings.get(t).map_or(0, Vec::len);
+            doc_freqs[t] = len as u32;
+            offsets[t + 1] = offsets[t] + len;
         }
         let total = offsets[num_terms];
         let mut docid_col = Vec::with_capacity(total);
@@ -223,6 +252,30 @@ mod tests {
         assert_eq!(b.push_doc("b", &[(1, 2), (2, 1)], 3), 1);
         assert_eq!(b.num_docs(), 2);
         assert_eq!(b.num_postings(), 3);
+    }
+
+    #[test]
+    fn lazy_allocation_tracks_max_seen_term() {
+        // A huge vocabulary must not cost anything until terms appear.
+        let mut b = StreamingIndexBuilder::new(100_000, &IndexConfig::uncompressed());
+        assert!(b.postings.is_empty());
+        b.push_doc("a", &[(3, 1)], 1);
+        assert_eq!(b.postings.len(), 4);
+        b.push_doc("b", &[(1, 2), (17, 1)], 3);
+        assert_eq!(b.postings.len(), 18);
+        let vocab: Vec<String> = (0..100_000).map(|t| format!("term{t}")).collect();
+        let idx = b.finish(&vocab);
+        assert_eq!(idx.num_postings(), 3);
+        assert_eq!(idx.doc_freq(17), 1);
+        assert_eq!(idx.doc_freq(99_999), 0);
+        assert!(idx.term_range(99_999).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_vocab_term_panics() {
+        let mut b = StreamingIndexBuilder::new(3, &IndexConfig::default());
+        b.push_doc("a", &[(3, 1)], 1);
     }
 
     #[test]

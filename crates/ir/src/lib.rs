@@ -14,6 +14,9 @@
 //!   operator pipelines: boolean AND/OR as merge-(outer-)joins, BM25 as a
 //!   vectorized `Project` + `TopN`, plus the paper's optimization ladder:
 //!   two-pass processing, score materialization, and quantization.
+//! * [`spill::SpillingIndexBuilder`] — index construction under an explicit
+//!   posting-memory budget: sorted on-disk runs + k-way merge, producing
+//!   bit-identical indexes to the in-memory builders.
 //!
 //! The Table 2 experiment in `x100-bench` drives these APIs end to end.
 //!
@@ -39,6 +42,7 @@ pub mod builder;
 pub mod engine;
 pub mod index;
 pub mod skipping;
+pub mod spill;
 
 pub use bm25::{Bm25Params, CollectionStats, Quantizer};
 pub use boolean::BooleanQuery;
@@ -46,3 +50,7 @@ pub use builder::{build_index_streaming, StreamingIndexBuilder};
 pub use engine::{QueryEngine, SearchResponse, SearchResult, SearchStrategy};
 pub use index::{IndexConfig, InvertedIndex, Materialize};
 pub use skipping::{intersect_skipping, PostingCursor};
+pub use spill::{
+    build_index_streaming_spill, merge_run_sources, SpillConfig, SpillError, SpillStats,
+    SpillingIndexBuilder,
+};

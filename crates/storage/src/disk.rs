@@ -59,6 +59,14 @@ impl DiskModel {
         let transfer_secs = bytes as f64 / self.bandwidth_bytes_per_sec;
         self.seek + Duration::from_secs_f64(transfer_secs)
     }
+
+    /// Simulated wall-clock cost of writing `bytes` in one sequential
+    /// request. The model is symmetric — positioning plus transfer at the
+    /// same sequential bandwidth — which matches the spill path's
+    /// write-once streaming pattern (no read-modify-write amplification).
+    pub fn write_cost(&self, bytes: usize) -> Duration {
+        self.read_cost(bytes)
+    }
 }
 
 impl Default for DiskModel {
@@ -67,11 +75,14 @@ impl Default for DiskModel {
     }
 }
 
-/// Accumulated I/O accounting: how many block reads were simulated, how many
-/// bytes moved, and how much simulated disk time they cost.
+/// Accumulated I/O accounting: how many requests were simulated, how many
+/// bytes moved, and how much simulated disk time they cost. One `IoStats`
+/// tracks one direction — the buffer manager keeps a read stream, the
+/// spill path keeps separate write-side and read-side records.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
-    /// Number of simulated block reads.
+    /// Number of simulated sequential requests (reads, or writes when the
+    /// record tracks a write stream).
     pub reads: u64,
     /// Total bytes transferred from the simulated disk.
     pub bytes: u64,
@@ -108,6 +119,12 @@ mod tests {
         };
         let cost = disk.read_cost(2000);
         assert_eq!(cost, Duration::from_millis(10) + Duration::from_secs(2));
+    }
+
+    #[test]
+    fn write_cost_is_symmetric_with_read_cost() {
+        let disk = DiskModel::raid12();
+        assert_eq!(disk.write_cost(1 << 22), disk.read_cost(1 << 22));
     }
 
     #[test]

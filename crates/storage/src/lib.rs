@@ -23,16 +23,21 @@
 //!   granularity, the storage-side half of the execution pipeline.
 //! * [`table::Table`] — a named set of equal-length columns (the relational
 //!   veneer the IR layer builds TD/D/T on).
+//! * [`runfile`] — checksummed, term-ordered on-disk posting runs: the
+//!   external-sort leg that lets index construction spill under a memory
+//!   budget and k-way merge back to one sorted posting stream.
 
 pub mod buffer;
 pub mod column;
 pub mod disk;
+pub mod runfile;
 pub mod scan;
 pub mod table;
 
 pub use buffer::{BufferManager, BufferMode};
 pub use column::{Column, ColumnBuilder, ColumnId, StringColumn};
 pub use disk::{DiskModel, IoStats};
+pub use runfile::{MemRun, RunFileError, RunFileReader, RunFileWriter, RunMeta, RunSource};
 pub use scan::ColumnScan;
 pub use table::Table;
 

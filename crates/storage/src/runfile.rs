@@ -1,0 +1,541 @@
+//! Sorted on-disk posting runs — the external-sort leg of index build.
+//!
+//! When an IR-side index builder runs out of its posting-memory
+//! budget it flushes the whole accumulator as one **run file**: every
+//! non-empty term's posting list, in strictly ascending term order, each
+//! record carrying its own checksum. `finish()` later k-way merges the runs
+//! back into one (term, docid)-ordered posting sequence — the same
+//! run/merge discipline the paper's X100 storage layer assumes for
+//! out-of-core operation.
+//!
+//! Layout (little-endian throughout, magic `X1RN`):
+//!
+//! ```text
+//! +----------------------------- header (20 bytes) ------------------------+
+//! | magic u32 | version u16 | flags u16 | num_terms u32 | num_postings u64 |
+//! +------------------------- then num_terms records ------------------------+
+//! | term u32 | count u32 | count × posting u64 | fnv1a-64 checksum u64      |
+//! +--------------------------------------------------------------------------+
+//! ```
+//!
+//! A posting is packed `docid << 32 | tf`, exactly the builder's in-memory
+//! accumulator word. Every byte of the file is validated on read: the
+//! header fields against each other and the record stream, each record
+//! against its FNV-1a checksum, term order against strict ascent, and the
+//! end of the last record against EOF — so truncations *and* single-bit
+//! flips surface as [`RunFileError`]s instead of silently dropped or
+//! corrupted postings (the failure-injection suite flips every byte).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic number at the start of every run file (`X1RN`).
+pub const RUN_MAGIC: u32 = 0x5831_524E;
+
+/// Run-file format version this build writes and accepts.
+pub const RUN_VERSION: u16 = 1;
+
+const HEADER_BYTES: u64 = 20;
+
+/// Errors surfaced while writing or reading a run file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunFileError {
+    /// Underlying filesystem error (message-only so the error stays
+    /// `Clone`/`PartialEq` for tests).
+    Io(String),
+    /// The file does not start with [`RUN_MAGIC`].
+    BadMagic(u32),
+    /// The file's version is not [`RUN_VERSION`].
+    BadVersion(u16),
+    /// The file ends before the header's record stream does.
+    Truncated,
+    /// Structural corruption: checksum mismatch, term order violation,
+    /// count mismatch, trailing bytes, non-zero flags.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for RunFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFileError::Io(e) => write!(f, "run file I/O error: {e}"),
+            RunFileError::BadMagic(m) => write!(f, "bad run-file magic {m:#010x}"),
+            RunFileError::BadVersion(v) => write!(f, "unsupported run-file version {v}"),
+            RunFileError::Truncated => f.write_str("run file truncated"),
+            RunFileError::Corrupt(what) => write!(f, "corrupt run file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RunFileError {}
+
+impl From<std::io::Error> for RunFileError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            RunFileError::Truncated
+        } else {
+            RunFileError::Io(e.to_string())
+        }
+    }
+}
+
+/// Incremental FNV-1a (64-bit) over a record's serialized bytes.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Metadata of a completed run file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Where the run lives on disk.
+    pub path: PathBuf,
+    /// Number of term records.
+    pub num_terms: u32,
+    /// Total postings across all records.
+    pub num_postings: u64,
+    /// Serialized size in bytes (what a sequential read transfers).
+    pub bytes: u64,
+}
+
+/// Writes one run file: term records pushed in strictly ascending term
+/// order, header back-patched with the totals on [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct RunFileWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    num_terms: u32,
+    num_postings: u64,
+    bytes: u64,
+    last_term: Option<u32>,
+}
+
+impl RunFileWriter {
+    /// Creates the file and writes a placeholder header.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, RunFileError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = BufWriter::new(File::create(&path)?);
+        // Placeholder header; finish() seeks back and fills the totals.
+        file.write_all(&[0u8; HEADER_BYTES as usize])?;
+        Ok(RunFileWriter {
+            file,
+            path,
+            num_terms: 0,
+            num_postings: 0,
+            bytes: HEADER_BYTES,
+            last_term: None,
+        })
+    }
+
+    /// Appends one term's posting list (packed `docid << 32 | tf` words).
+    ///
+    /// # Panics
+    /// Panics if `postings` is empty or `term` does not strictly exceed the
+    /// previously written term — both are writer-side contract violations,
+    /// not I/O conditions.
+    pub fn push_term(&mut self, term: u32, postings: &[u64]) -> Result<(), RunFileError> {
+        assert!(!postings.is_empty(), "empty posting list in run file");
+        if let Some(prev) = self.last_term {
+            assert!(term > prev, "run-file terms must strictly ascend");
+        }
+        self.last_term = Some(term);
+        let mut sum = Fnv1a::new();
+        let mut put = |file: &mut BufWriter<File>, bytes: &[u8]| -> Result<(), RunFileError> {
+            sum.update(bytes);
+            file.write_all(bytes)?;
+            Ok(())
+        };
+        put(&mut self.file, &term.to_le_bytes())?;
+        put(&mut self.file, &(postings.len() as u32).to_le_bytes())?;
+        for &p in postings {
+            put(&mut self.file, &p.to_le_bytes())?;
+        }
+        self.file.write_all(&sum.finish().to_le_bytes())?;
+        self.num_terms += 1;
+        self.num_postings += postings.len() as u64;
+        self.bytes += 4 + 4 + 8 * postings.len() as u64 + 8;
+        Ok(())
+    }
+
+    /// Back-patches the header with the final totals and flushes buffered
+    /// bytes to the OS (no fsync — run files are transient spill state
+    /// re-read within the same build, not crash-durable storage).
+    pub fn finish(mut self) -> Result<RunMeta, RunFileError> {
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&RUN_MAGIC.to_le_bytes())?;
+        self.file.write_all(&RUN_VERSION.to_le_bytes())?;
+        self.file.write_all(&0u16.to_le_bytes())?; // flags, must be zero
+        self.file.write_all(&self.num_terms.to_le_bytes())?;
+        self.file.write_all(&self.num_postings.to_le_bytes())?;
+        self.file.flush()?;
+        Ok(RunMeta {
+            path: self.path,
+            num_terms: self.num_terms,
+            num_postings: self.num_postings,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// A source of `(term, postings)` segments in ascending term order — the
+/// unit the k-way merge consumes. Implemented by [`RunFileReader`] (disk)
+/// and [`MemRun`] (tests and oracles).
+pub trait RunSource {
+    /// The next term segment, or `Ok(None)` when the source is exhausted.
+    /// Exhaustion is also where end-of-stream validation (totals, EOF)
+    /// happens, so a source must be drained to be fully verified.
+    fn next_segment(&mut self) -> Result<Option<(u32, Vec<u64>)>, RunFileError>;
+}
+
+/// Streaming, validating reader over one run file.
+#[derive(Debug)]
+pub struct RunFileReader {
+    file: BufReader<File>,
+    num_terms: u32,
+    num_postings: u64,
+    terms_read: u32,
+    postings_read: u64,
+    last_term: Option<u32>,
+}
+
+impl RunFileReader {
+    /// Opens the file and validates the header, including that the header
+    /// totals account for the file's exact byte length — so multi-byte
+    /// header corruption can neither smuggle in oversized allocation
+    /// requests nor hide truncation until mid-stream.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, RunFileError> {
+        let file = File::open(path.as_ref())?;
+        let file_len = file.metadata()?.len();
+        let mut file = BufReader::new(file);
+        let magic = read_u32(&mut file)?;
+        if magic != RUN_MAGIC {
+            return Err(RunFileError::BadMagic(magic));
+        }
+        let version = read_u16(&mut file)?;
+        if version != RUN_VERSION {
+            return Err(RunFileError::BadVersion(version));
+        }
+        let flags = read_u16(&mut file)?;
+        if flags != 0 {
+            return Err(RunFileError::Corrupt("non-zero header flags"));
+        }
+        let num_terms = read_u32(&mut file)?;
+        let num_postings = read_u64(&mut file)?;
+        // Every record is term(4) + count(4) + checksum(8) + 8 bytes per
+        // posting, so the header pins the file length exactly.
+        let expected = u64::from(num_terms)
+            .checked_mul(16)
+            .and_then(|records| num_postings.checked_mul(8).map(|p| (records, p)))
+            .and_then(|(records, p)| records.checked_add(p))
+            .and_then(|body| body.checked_add(HEADER_BYTES));
+        if expected != Some(file_len) {
+            return Err(RunFileError::Corrupt(
+                "header totals disagree with file length",
+            ));
+        }
+        Ok(RunFileReader {
+            file,
+            num_terms,
+            num_postings,
+            terms_read: 0,
+            postings_read: 0,
+            last_term: None,
+        })
+    }
+
+    /// Term records the header promises.
+    pub fn num_terms(&self) -> u32 {
+        self.num_terms
+    }
+
+    /// Total postings the header promises.
+    pub fn num_postings(&self) -> u64 {
+        self.num_postings
+    }
+}
+
+impl RunSource for RunFileReader {
+    fn next_segment(&mut self) -> Result<Option<(u32, Vec<u64>)>, RunFileError> {
+        if self.terms_read == self.num_terms {
+            // End-of-stream validation: totals must reconcile and the file
+            // must end exactly here.
+            if self.postings_read != self.num_postings {
+                return Err(RunFileError::Corrupt("posting total does not match header"));
+            }
+            let mut probe = [0u8; 1];
+            match self.file.read(&mut probe)? {
+                0 => return Ok(None),
+                _ => return Err(RunFileError::Corrupt("trailing bytes after last record")),
+            }
+        }
+        let mut sum = Fnv1a::new();
+        let term_bytes = read_array::<4>(&mut self.file)?;
+        sum.update(&term_bytes);
+        let term = u32::from_le_bytes(term_bytes);
+        if let Some(prev) = self.last_term {
+            if term <= prev {
+                return Err(RunFileError::Corrupt("run terms out of order"));
+            }
+        }
+        let count_bytes = read_array::<4>(&mut self.file)?;
+        sum.update(&count_bytes);
+        let count = u32::from_le_bytes(count_bytes) as usize;
+        if count == 0 {
+            return Err(RunFileError::Corrupt("empty posting list record"));
+        }
+        if count as u64 > self.num_postings.saturating_sub(self.postings_read) {
+            return Err(RunFileError::Corrupt("record exceeds header posting total"));
+        }
+        let mut postings = Vec::with_capacity(count);
+        for _ in 0..count {
+            let p = read_array::<8>(&mut self.file)?;
+            sum.update(&p);
+            postings.push(u64::from_le_bytes(p));
+        }
+        let stored = u64::from_le_bytes(read_array::<8>(&mut self.file)?);
+        if stored != sum.finish() {
+            return Err(RunFileError::Corrupt("record checksum mismatch"));
+        }
+        self.terms_read += 1;
+        self.postings_read += count as u64;
+        self.last_term = Some(term);
+        Ok(Some((term, postings)))
+    }
+}
+
+/// An in-memory run: the same segment stream a [`RunFileReader`] yields,
+/// without the disk. Used by the merge property tests and as a reference
+/// oracle; segments are drained front to back.
+#[derive(Debug, Clone, Default)]
+pub struct MemRun {
+    segments: std::collections::VecDeque<(u32, Vec<u64>)>,
+}
+
+impl MemRun {
+    /// A run over `(term, postings)` segments (must already be in
+    /// ascending term order to mirror the on-disk invariant).
+    pub fn new(segments: Vec<(u32, Vec<u64>)>) -> Self {
+        MemRun {
+            segments: segments.into(),
+        }
+    }
+}
+
+impl RunSource for MemRun {
+    fn next_segment(&mut self) -> Result<Option<(u32, Vec<u64>)>, RunFileError> {
+        Ok(self.segments.pop_front())
+    }
+}
+
+fn read_array<const N: usize>(r: &mut impl Read) -> Result<[u8; N], RunFileError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u16(r: &mut impl Read) -> Result<u16, RunFileError> {
+    Ok(u16::from_le_bytes(read_array::<2>(r)?))
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, RunFileError> {
+    Ok(u32::from_le_bytes(read_array::<4>(r)?))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, RunFileError> {
+    Ok(u64::from_le_bytes(read_array::<8>(r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "x100-runfile-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_segments() -> Vec<(u32, Vec<u64>)> {
+        vec![
+            (0, vec![(1 << 32) | 3, (2 << 32) | 1]),
+            (7, vec![(5 << 32) | 2]),
+            (9, (0..100u64).map(|d| (d << 32) | 1).collect()),
+        ]
+    }
+
+    fn write_sample(path: &Path) -> RunMeta {
+        let mut w = RunFileWriter::create(path).unwrap();
+        for (term, postings) in sample_segments() {
+            w.push_term(term, &postings).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn drain(path: &Path) -> Result<Vec<(u32, Vec<u64>)>, RunFileError> {
+        let mut r = RunFileReader::open(path)?;
+        let mut out = Vec::new();
+        while let Some(seg) = r.next_segment()? {
+            out.push(seg);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = temp_path("roundtrip");
+        let meta = write_sample(&path);
+        assert_eq!(meta.num_terms, 3);
+        assert_eq!(meta.num_postings, 103);
+        assert_eq!(meta.bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(drain(&path).unwrap(), sample_segments());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_run_roundtrips() {
+        let path = temp_path("empty");
+        let meta = RunFileWriter::create(&path).unwrap().finish().unwrap();
+        assert_eq!(meta.num_terms, 0);
+        assert_eq!(drain(&path).unwrap(), Vec::new());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let path = temp_path("trunc");
+        write_sample(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        let cut_path = temp_path("trunc-cut");
+        for cut in 0..bytes.len() {
+            std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+            assert!(drain(&cut_path).is_err(), "truncation at {cut} accepted");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&cut_path).ok();
+    }
+
+    #[test]
+    fn every_single_bit_flip_errors() {
+        let path = temp_path("flip");
+        write_sample(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        let flip_path = temp_path("flip-mut");
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            std::fs::write(&flip_path, &corrupt).unwrap();
+            assert!(drain(&flip_path).is_err(), "bit flip at byte {i} accepted");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&flip_path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let path = temp_path("trailing");
+        write_sample(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        // Caught already at open: the header totals pin the exact length.
+        assert_eq!(
+            drain(&path),
+            Err(RunFileError::Corrupt(
+                "header totals disagree with file length"
+            ))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_header_counts_rejected_without_allocation() {
+        // Corrupt num_postings *and* a record count coherently huge: the
+        // open-time length reconciliation must reject the file before any
+        // count-sized allocation can happen.
+        let path = temp_path("huge-counts");
+        write_sample(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[12..20].copy_from_slice(&u64::MAX.to_le_bytes()); // num_postings
+        bytes[24..28].copy_from_slice(&u32::MAX.to_le_bytes()); // first count
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            drain(&path),
+            Err(RunFileError::Corrupt(
+                "header totals disagree with file length"
+            ))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_specific() {
+        let path = temp_path("magic");
+        write_sample(&path);
+        let good = std::fs::read(&path).unwrap();
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(drain(&path), Err(RunFileError::BadMagic(_))));
+        let mut bad = good.clone();
+        bad[4] = 0xEE;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(drain(&path), Err(RunFileError::BadVersion(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = temp_path("missing");
+        assert!(matches!(
+            RunFileReader::open(&path),
+            Err(RunFileError::Io(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascend")]
+    fn descending_terms_rejected_at_write() {
+        let path = temp_path("descend");
+        let mut w = RunFileWriter::create(&path).unwrap();
+        w.push_term(5, &[1]).unwrap();
+        let _ = w.push_term(5, &[2]);
+    }
+
+    #[test]
+    fn mem_run_drains_in_order() {
+        let mut m = MemRun::new(sample_segments());
+        let mut got = Vec::new();
+        while let Some(seg) = m.next_segment().unwrap() {
+            got.push(seg);
+        }
+        assert_eq!(got, sample_segments());
+    }
+
+    #[test]
+    fn error_display_mentions_cause() {
+        assert!(RunFileError::Truncated.to_string().contains("truncated"));
+        assert!(RunFileError::BadMagic(7).to_string().contains("magic"));
+        assert!(RunFileError::Corrupt("checksum mismatch")
+            .to_string()
+            .contains("checksum"));
+    }
+}

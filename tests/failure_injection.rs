@@ -5,7 +5,10 @@
 use monetdb_x100::compress::{Codec, CodecError, CompressedBlock};
 use monetdb_x100::corpus::{CollectionConfig, SyntheticCollection};
 use monetdb_x100::exec::prelude::*;
-use monetdb_x100::ir::{IndexConfig, InvertedIndex, QueryEngine, SearchStrategy};
+use monetdb_x100::ir::{
+    IndexConfig, InvertedIndex, QueryEngine, SearchStrategy, SpillConfig, SpillError,
+    SpillingIndexBuilder,
+};
 use monetdb_x100::storage::{BufferManager, BufferMode, Column, DiskModel, StorageError, Table};
 
 fn tiny_index() -> (SyntheticCollection, InvertedIndex) {
@@ -144,6 +147,92 @@ fn zero_length_documents_are_tolerated() {
             .expect("search");
         assert!(resp.results.len() <= 5);
     }
+}
+
+/// A spilling builder over the tiny collection with a budget small enough
+/// to leave several run files on disk, ready to be corrupted.
+fn spilled_builder(c: &SyntheticCollection) -> SpillingIndexBuilder {
+    let mut b = SpillingIndexBuilder::new(
+        c.vocab.len(),
+        &IndexConfig::compressed(),
+        SpillConfig::with_budget(8 * 1024),
+    );
+    b.push_docs(&c.docs).unwrap();
+    assert!(b.num_runs() >= 2, "fixture must spill multiple runs");
+    b
+}
+
+#[test]
+fn truncated_run_files_error_through_finish() {
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    let full_len = {
+        let b = spilled_builder(&c);
+        std::fs::metadata(&b.run_paths()[0]).unwrap().len() as usize
+    };
+    // Cut the first run at several depths: mid-header, mid-record, one
+    // byte short. Every cut must surface as Err from finish() — no panic,
+    // no silently dropped postings.
+    for cut in [0, 7, 19, full_len / 3, full_len - 1] {
+        let b = spilled_builder(&c);
+        let victim = &b.run_paths()[0];
+        let bytes = std::fs::read(victim).unwrap();
+        std::fs::write(victim, &bytes[..cut.min(bytes.len())]).unwrap();
+        let err = b.finish(&c.vocab).unwrap_err();
+        assert!(matches!(err, SpillError::Run(_)), "cut={cut}: {err}");
+    }
+}
+
+#[test]
+fn bit_flipped_run_files_error_through_finish() {
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    let full_len = {
+        let b = spilled_builder(&c);
+        std::fs::metadata(&b.run_paths()[0]).unwrap().len() as usize
+    };
+    // Flip a single bit at positions spanning the header (magic, version,
+    // flags, counts), record headers, posting payload and checksum bytes.
+    let positions = [0, 4, 6, 8, 12, 21, 25, 30, full_len / 2, full_len - 1];
+    for &pos in &positions {
+        let b = spilled_builder(&c);
+        let victim = &b.run_paths()[1];
+        let mut bytes = std::fs::read(victim).unwrap();
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= 0x01;
+        std::fs::write(victim, &bytes).unwrap();
+        let err = b.finish(&c.vocab).unwrap_err();
+        assert!(matches!(err, SpillError::Run(_)), "flip at {pos}: {err}");
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn deleted_run_file_errors_through_finish() {
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    let b = spilled_builder(&c);
+    std::fs::remove_file(&b.run_paths()[0]).unwrap();
+    assert!(matches!(
+        b.finish(&c.vocab),
+        Err(SpillError::Run(monetdb_x100::storage::RunFileError::Io(_)))
+    ));
+}
+
+#[test]
+fn run_file_posting_swap_is_detected() {
+    // Swapping two whole posting words keeps lengths and totals intact —
+    // only the record checksum can catch it. It must.
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    let b = spilled_builder(&c);
+    let victim = &b.run_paths()[0];
+    let mut bytes = std::fs::read(victim).unwrap();
+    // Header is 20 bytes; first record starts at 20 with term(4)+count(4),
+    // so postings start at byte 28. Swap the first two 8-byte words.
+    let (a, z) = (28usize, 36usize);
+    for i in 0..8 {
+        bytes.swap(a + i, z + i);
+    }
+    std::fs::write(victim, &bytes).unwrap();
+    let err = b.finish(&c.vocab).unwrap_err();
+    assert!(err.to_string().contains("checksum"), "{err}");
 }
 
 #[test]

@@ -1,0 +1,227 @@
+//! Differential oracle for spill-to-disk index construction: for any
+//! posting-memory budget, [`SpillingIndexBuilder`] must produce exactly the
+//! index that [`StreamingIndexBuilder`] and the batch
+//! [`InvertedIndex::build`] produce — same posting columns, same document
+//! statistics, same BM25 top-k — down to the pathological budget that
+//! forces a spill after every single document.
+
+use monetdb_x100::corpus::{CollectionConfig, CollectionStream, Scale, SyntheticCollection};
+use monetdb_x100::distributed::SimulatedCluster;
+use monetdb_x100::ir::{
+    build_index_streaming, build_index_streaming_spill, IndexConfig, InvertedIndex, Materialize,
+    QueryEngine, SearchStrategy, SpillConfig, SpillingIndexBuilder, StreamingIndexBuilder,
+};
+
+/// Full structural equality: posting columns, range index, document
+/// metadata and collection statistics.
+fn assert_indexes_equal(a: &InvertedIndex, b: &InvertedIndex, vocab_len: usize) {
+    assert_eq!(a.num_postings(), b.num_postings());
+    assert_eq!(
+        a.td().column("docid").unwrap().read_all(),
+        b.td().column("docid").unwrap().read_all()
+    );
+    assert_eq!(
+        a.td().column("tf").unwrap().read_all(),
+        b.td().column("tf").unwrap().read_all()
+    );
+    if a.has_materialized_scores() {
+        assert_eq!(
+            a.td().column("score").unwrap().read_all(),
+            b.td().column("score").unwrap().read_all()
+        );
+    }
+    for t in 0..vocab_len as u32 {
+        assert_eq!(a.term_range(t), b.term_range(t), "term {t}");
+        assert_eq!(a.doc_freq(t), b.doc_freq(t), "term {t}");
+    }
+    assert_eq!(a.doc_lens(), b.doc_lens());
+    assert_eq!(a.stats().num_docs, b.stats().num_docs);
+    assert_eq!(a.stats().avg_doc_len, b.stats().avg_doc_len);
+    assert_eq!(a.doc_name(0), b.doc_name(0));
+}
+
+/// Identical BM25 rankings (docids *and* scores) on the judged queries.
+fn assert_same_topk(a: &InvertedIndex, b: &InvertedIndex, c: &SyntheticCollection) {
+    let (ea, eb) = (QueryEngine::new(a), QueryEngine::new(b));
+    for strategy in [SearchStrategy::Bm25, SearchStrategy::Bm25TwoPass] {
+        for q in &c.eval_queries {
+            let ra = ea.search(&q.terms, strategy, 10).unwrap().results;
+            let rb = eb.search(&q.terms, strategy, 10).unwrap().results;
+            assert_eq!(ra, rb, "{strategy:?} diverged on {:?}", q.terms);
+        }
+    }
+}
+
+fn build_all_three(
+    c: &SyntheticCollection,
+    config: &IndexConfig,
+    budget: usize,
+) -> (InvertedIndex, InvertedIndex, InvertedIndex, usize) {
+    let batch = InvertedIndex::build(c, config);
+    let mut streaming = StreamingIndexBuilder::new(c.vocab.len(), config);
+    streaming.push_docs(&c.docs);
+    let streamed = streaming.finish(&c.vocab);
+    let mut spilling =
+        SpillingIndexBuilder::new(c.vocab.len(), config, SpillConfig::with_budget(budget));
+    spilling.push_docs(&c.docs).unwrap();
+    let (spilled, stats) = spilling.finish(&c.vocab).unwrap();
+    assert!(
+        stats.peak_accum_bytes <= budget,
+        "peak {} exceeded budget {budget}",
+        stats.peak_accum_bytes
+    );
+    (batch, streamed, spilled, stats.runs)
+}
+
+#[test]
+fn three_builders_agree_at_tiny_across_budgets_and_configs() {
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    let max_doc_bytes = c.docs.iter().map(|d| d.terms.len() * 8).max().unwrap();
+    for config in [
+        IndexConfig::uncompressed(),
+        IndexConfig::compressed(),
+        IndexConfig::materialized_f32(),
+        IndexConfig::materialized_q8(),
+    ] {
+        for budget in [usize::MAX, 64 * 1024, 8 * 1024, max_doc_bytes] {
+            let (batch, streamed, spilled, _) = build_all_three(&c, &config, budget);
+            assert_indexes_equal(&streamed, &batch, c.vocab.len());
+            assert_indexes_equal(&spilled, &batch, c.vocab.len());
+            if config.materialize == Materialize::None {
+                assert_same_topk(&spilled, &batch, &c);
+            }
+        }
+    }
+}
+
+#[test]
+fn pathological_budget_spills_after_every_document() {
+    // A budget smaller than any document: every push flushes the previous
+    // document as its own run, so the build degenerates to one run per
+    // document — and must *still* merge back to the exact batch index.
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    let config = IndexConfig::compressed();
+    let batch = InvertedIndex::build(&c, &config);
+    let mut spilling =
+        SpillingIndexBuilder::new(c.vocab.len(), &config, SpillConfig::with_budget(1));
+    spilling.push_docs(&c.docs).unwrap();
+    let (spilled, stats) = spilling.finish(&c.vocab).unwrap();
+    assert_eq!(stats.runs, c.docs.len(), "one run per document");
+    assert_eq!(stats.spilled_postings as usize, batch.num_postings());
+    assert_indexes_equal(&spilled, &batch, c.vocab.len());
+    assert_same_topk(&spilled, &batch, &c);
+}
+
+#[test]
+fn small_scale_streamed_spill_matches_unbudgeted() {
+    let cfg = Scale::Small.config();
+    let (plain, plain_tail) = build_index_streaming(
+        CollectionStream::new(&cfg),
+        &IndexConfig::compressed(),
+        Scale::Small.chunk_size(),
+    );
+    let (spilled, tail, stats) = build_index_streaming_spill(
+        CollectionStream::new(&cfg),
+        &IndexConfig::compressed(),
+        Scale::Small.chunk_size(),
+        SpillConfig::with_budget(256 * 1024),
+    )
+    .unwrap();
+    assert!(
+        stats.runs > 4,
+        "only {} runs at a 256 KiB budget",
+        stats.runs
+    );
+    assert!(stats.peak_accum_bytes <= 256 * 1024);
+    assert_eq!(tail.efficiency_log, plain_tail.efficiency_log);
+    assert_indexes_equal(&spilled, &plain, cfg.vocab_size);
+
+    // Identical top-20 on the efficiency workload too.
+    let (ep, es) = (QueryEngine::new(&plain), QueryEngine::new(&spilled));
+    for q in tail.efficiency_log.iter().take(50) {
+        assert_eq!(
+            ep.search(q, SearchStrategy::Bm25TwoPass, 20)
+                .unwrap()
+                .results,
+            es.search(q, SearchStrategy::Bm25TwoPass, 20)
+                .unwrap()
+                .results
+        );
+    }
+}
+
+#[test]
+fn spilled_cluster_matches_unbudgeted_cluster() {
+    let cfg = CollectionConfig::tiny();
+    let (plain, _) = SimulatedCluster::build_streaming(
+        CollectionStream::new(&cfg),
+        4,
+        &IndexConfig::compressed(),
+        64,
+    );
+    let (spilled, tail, stats) = SimulatedCluster::build_streaming_spill(
+        CollectionStream::new(&cfg),
+        4,
+        &IndexConfig::compressed(),
+        64,
+        16 * 1024,
+    )
+    .unwrap();
+    assert!(stats.iter().all(|s| s.runs > 0));
+    for q in &tail.eval_queries {
+        assert_eq!(
+            spilled.search(&q.terms, SearchStrategy::Bm25, 20),
+            plain.search(&q.terms, SearchStrategy::Bm25, 20)
+        );
+    }
+}
+
+/// The medium-scale spill roundtrip the weekly CI smoke job runs: a 32 MiB
+/// budget over ~16 M postings (~128 MiB of packed accumulator) forces a
+/// real multi-run merge, and the result must match the unbudgeted build
+/// posting-for-posting and ranking-for-ranking.
+#[test]
+#[ignore = "medium scale: run explicitly with --ignored (release mode recommended)"]
+fn medium_scale_spill_roundtrip() {
+    let scale = Scale::Medium;
+    let cfg = scale.config();
+    let (plain, _) = build_index_streaming(
+        CollectionStream::new(&cfg),
+        &IndexConfig::compressed(),
+        scale.chunk_size(),
+    );
+    let (spilled, tail, stats) = build_index_streaming_spill(
+        CollectionStream::new(&cfg),
+        &IndexConfig::compressed(),
+        scale.chunk_size(),
+        SpillConfig::with_budget(32 << 20),
+    )
+    .unwrap();
+    assert!(
+        stats.runs >= 3,
+        "only {} runs at a 32 MiB budget",
+        stats.runs
+    );
+    assert!(stats.peak_accum_bytes <= 32 << 20);
+    assert_eq!(stats.spilled_postings as usize, plain.num_postings());
+    assert_eq!(spilled.num_postings(), plain.num_postings());
+    assert_eq!(
+        spilled.td().column("docid").unwrap().read_all(),
+        plain.td().column("docid").unwrap().read_all()
+    );
+    assert_eq!(
+        spilled.td().column("tf").unwrap().read_all(),
+        plain.td().column("tf").unwrap().read_all()
+    );
+    let (ep, es) = (QueryEngine::new(&plain), QueryEngine::new(&spilled));
+    for q in &tail.eval_queries {
+        assert_eq!(
+            ep.search(&q.terms, SearchStrategy::Bm25TwoPass, 20)
+                .unwrap()
+                .results,
+            es.search(&q.terms, SearchStrategy::Bm25TwoPass, 20)
+                .unwrap()
+                .results
+        );
+    }
+}
