@@ -14,11 +14,15 @@
 //! `--mem-budget SIZE` (e.g. `64M`) the posting accumulators are split
 //! half to the full index and half across the partition builders; each
 //! flushes sorted run files when its share fills and k-way merges them at
-//! finish, so even `--scale large` builds in bounded accumulator memory.
-//! The budget is **asserted in-process**: peak accumulator bytes (full +
-//! all partitions) must come in at or under it. `BENCH_scale.json` gains
-//! the accumulator peak, run counts, spill I/O and the OS-reported peak
-//! RSS.
+//! finish **straight into compressed column blocks**
+//! ([`x100_ir::IndexColumnsWriter`]), so even `--scale large` builds in
+//! bounded memory end to end: the merged columns are never materialized
+//! uncompressed. The budget is **asserted in-process** over both phases:
+//! peak accumulator bytes (full + all partitions) and the finish-phase
+//! peak (one builder's streaming merge plus the accumulators still
+//! waiting) must each come in at or under it. Budgeted runs record the
+//! accumulator peak, finish peak, combined peak, run counts, spill I/O and
+//! the OS-reported peak RSS to `BENCH_scale_spill.json`.
 //!
 //! Usage: `scale_pipeline [--scale tiny|small|medium|large] [--mem-budget SIZE]
 //! [--partitions N] [--queries N]`
@@ -130,21 +134,34 @@ fn main() {
     let tail = stream.finish();
     let generate_index_s = t0.elapsed().as_secs_f64();
 
+    // Builders finish sequentially, so the process-wide finish-phase
+    // footprint while builder `i` merges is its own finish peak plus the
+    // resident (unspilled) accumulators of the builders still waiting.
     let t1 = Instant::now();
+    let node_residents: Vec<usize> = nodes
+        .iter()
+        .map(|(b, _)| b.resident_accum_bytes())
+        .collect();
+    let mut waiting_resident: usize = node_residents.iter().sum();
     let (index, full_stats) = full.finish(&vocab).expect("full-index merge");
+    let mut finish_peak = full_stats.finish_peak_bytes + waiting_resident;
     let mut node_stats = Vec::with_capacity(partitions);
     let mut parts = Vec::with_capacity(partitions);
-    for (builder, ids) in nodes {
+    for (i, (builder, ids)) in nodes.into_iter().enumerate() {
+        waiting_resident -= node_residents[i];
         let (idx, s) = builder.finish(&vocab).expect("partition merge");
+        finish_peak = finish_peak.max(s.finish_peak_bytes + waiting_resident);
         node_stats.push(s);
         parts.push((idx, ids));
     }
     let cluster = SimulatedCluster::from_partition_indexes(parts);
     let finish_s = t1.elapsed().as_secs_f64();
 
-    // Spill accounting — and the in-process budget guarantee.
+    // Spill accounting — and the in-process budget guarantee, covering the
+    // accumulator phase *and* the streaming columnar finish phase.
     let peak_accum =
         full_stats.peak_accum_bytes + node_stats.iter().map(|s| s.peak_accum_bytes).sum::<usize>();
+    let combined_peak = peak_accum.max(finish_peak);
     let spill_runs = full_stats.runs + node_stats.iter().map(|s| s.runs).sum::<usize>();
     let mut spill_io = full_stats.total_io();
     for s in &node_stats {
@@ -155,14 +172,20 @@ fn main() {
             peak_accum <= budget,
             "peak accumulator bytes {peak_accum} exceeded --mem-budget {budget}"
         );
+        assert!(
+            finish_peak <= budget,
+            "finish-phase peak bytes {finish_peak} exceeded --mem-budget {budget}"
+        );
     }
     eprintln!(
-        "indexed {} postings in {:.2}s (+{:.2}s merge+column build); \
-         accumulator peak {:.1} MiB, {spill_runs} spill runs, {:.1} MiB spill I/O",
+        "indexed {} postings in {:.2}s (+{:.2}s streamed merge+column build); \
+         accumulator peak {:.1} MiB, finish peak {:.1} MiB, {spill_runs} spill runs, \
+         {:.1} MiB spill I/O",
         index.num_postings(),
         generate_index_s,
         finish_s,
         peak_accum as f64 / (1 << 20) as f64,
+        finish_peak as f64 / (1 << 20) as f64,
         spill_io.bytes as f64 / (1 << 20) as f64,
     );
 
@@ -250,6 +273,14 @@ fn main() {
         ),
     ]);
     t.push_row(vec![
+        "finish-phase peak".into(),
+        format!(
+            "{:.1} MiB (combined {:.1} MiB)",
+            finish_peak as f64 / (1 << 20) as f64,
+            combined_peak as f64 / (1 << 20) as f64
+        ),
+    ]);
+    t.push_row(vec![
         "single-node query".into(),
         format!(
             "{} ms avg CPU, {qps:.0} q/s, p@20 {p20:.3}",
@@ -282,6 +313,8 @@ fn main() {
             mem_budget.map_or(Json::Null, |b| Json::Num(b as f64)),
         ),
         ("peak_accum_bytes", Json::Num(peak_accum as f64)),
+        ("finish_peak_bytes", Json::Num(finish_peak as f64)),
+        ("combined_peak_bytes", Json::Num(combined_peak as f64)),
         (
             "peak_rss_bytes",
             peak_rss_bytes().map_or(Json::Null, |b| Json::Num(b as f64)),

@@ -134,7 +134,13 @@ impl SimulatedCluster {
     /// partition gets an equal share of `budget_bytes` and spills sorted
     /// runs to disk when its share fills ([`SpillingIndexBuilder`]), so the
     /// whole cluster build's posting accumulators stay within the budget.
-    /// Returns per-partition [`SpillStats`] alongside the cluster and tail.
+    /// Returns per-partition [`SpillStats`] alongside the cluster and tail;
+    /// each entry carries both the accumulator peak and the finish-phase
+    /// peak (`finish_peak_bytes`) of its partition's streaming columnar
+    /// merge. Partitions finish **sequentially**, so the process-wide
+    /// finish-phase footprint at any instant is one partition's
+    /// `finish_peak_bytes` plus the resident accumulators of the partitions
+    /// still waiting — the accounting `scale_pipeline --mem-budget` asserts.
     ///
     /// # Panics
     /// Panics if `num_partitions == 0`.
@@ -458,6 +464,8 @@ mod tests {
         .unwrap();
         assert!(stats.iter().all(|s| s.runs > 0), "{stats:?}");
         assert!(stats.iter().all(|s| s.peak_accum_bytes <= 4 * 1024));
+        // Finish-phase accounting is populated for every partition merge.
+        assert!(stats.iter().all(|s| s.finish_peak_bytes > 0), "{stats:?}");
         for (a, b) in spilled.nodes().iter().zip(plain.nodes()) {
             assert_eq!(a.global_ids, b.global_ids);
             assert_eq!(

@@ -15,7 +15,9 @@
 //! postings *plus* the whole materialized collection.
 
 use x100_corpus::{CollectionStream, CollectionTail, Document};
+use x100_storage::{StringColumn, StringColumnBuilder};
 
+use crate::columns::IndexColumnsWriter;
 use crate::index::{IndexConfig, InvertedIndex};
 
 /// Builds an [`InvertedIndex`] from documents pushed in docid order.
@@ -42,7 +44,9 @@ pub struct StreamingIndexBuilder {
     /// term id actually seen, so sparse or empty-vocab-tail workloads
     /// never pay an O(vocab) allocation upfront.
     postings: Vec<Vec<u64>>,
-    doc_names: Vec<String>,
+    /// Paged name storage: names go straight into string-column pages as
+    /// documents arrive, never held as one `String` allocation each.
+    doc_names: StringColumnBuilder,
     doc_lens: Vec<i32>,
 }
 
@@ -53,9 +57,14 @@ impl StreamingIndexBuilder {
             config: config.clone(),
             num_terms,
             postings: Vec::new(),
-            doc_names: Vec::new(),
+            doc_names: StringColumnBuilder::new("name"),
             doc_lens: Vec::new(),
         }
+    }
+
+    /// The builder's index configuration.
+    pub(crate) fn config(&self) -> &IndexConfig {
+        &self.config
     }
 
     /// Documents accepted so far (= the next docid to be assigned).
@@ -89,7 +98,7 @@ impl StreamingIndexBuilder {
             }
             self.postings[slot].push((u64::from(docid) << 32) | u64::from(tf));
         }
-        self.doc_names.push(name.to_owned());
+        self.doc_names.push(name);
         self.doc_lens.push(len as i32);
         docid
     }
@@ -113,45 +122,48 @@ impl StreamingIndexBuilder {
 
     /// Decomposes the builder into the parts the spill path's merge needs
     /// to assemble an index itself: configuration and the D-table columns.
-    pub(crate) fn into_parts(self) -> (IndexConfig, Vec<String>, Vec<i32>) {
-        (self.config, self.doc_names, self.doc_lens)
+    pub(crate) fn into_parts(self) -> (IndexConfig, StringColumn, Vec<i32>) {
+        (self.config, self.doc_names.finish(), self.doc_lens)
     }
 
     /// Assembles the index. `vocab` maps term ids to strings and must cover
     /// every id the builder was constructed for.
     pub fn finish(self, vocab: &[String]) -> InvertedIndex {
+        self.finish_with_peak(vocab).0
+    }
+
+    /// [`Self::finish`], additionally returning the finish phase's peak
+    /// intermediate footprint in bytes: resident packed postings (drained
+    /// term by term into the columnar writer, each list freed as soon as it
+    /// is written) plus the writer's pending uncompressed blocks. The old
+    /// path materialized whole `docid`/`tf` columns next to the postings —
+    /// a 2× peak this streaming drain no longer pays.
+    pub(crate) fn finish_with_peak(mut self, vocab: &[String]) -> (InvertedIndex, usize) {
         assert_eq!(
             vocab.len(),
             self.num_terms,
             "vocabulary size does not match the builder's term count"
         );
-        let num_terms = self.num_terms;
-        let mut doc_freqs = vec![0u32; num_terms];
-        let mut offsets = vec![0usize; num_terms + 1];
-        for t in 0..num_terms {
-            // Terms past the lazily grown tail were never seen: empty lists.
-            let len = self.postings.get(t).map_or(0, Vec::len);
-            doc_freqs[t] = len as u32;
-            offsets[t + 1] = offsets[t] + len;
-        }
-        let total = offsets[num_terms];
-        let mut docid_col = Vec::with_capacity(total);
-        let mut tf_col = Vec::with_capacity(total);
-        for list in &self.postings {
-            for &packed in list {
-                docid_col.push((packed >> 32) as u32);
-                tf_col.push(packed as u32);
+        let mut writer = IndexColumnsWriter::new(&self.config, self.num_terms);
+        let lists = std::mem::take(&mut self.postings);
+        let resident: usize = lists.iter().map(|l| l.len() * 8).sum();
+        for (term, list) in lists.into_iter().enumerate() {
+            if !list.is_empty() {
+                let term = u32::try_from(term).expect("term ids seen via push_doc fit u32");
+                writer.push_term(term, &list);
             }
+            // `list` drops here: accumulator memory is released
+            // incrementally as the columns compress, not all at the end.
         }
-        InvertedIndex::from_postings(
-            self.config,
-            vocab,
-            self.doc_names,
-            self.doc_lens,
-            doc_freqs,
-            offsets,
-            docid_col,
-            tf_col,
+        // Conservative joint peak: all postings resident at the start, plus
+        // the writer's pending-block high-water (resident only shrinks as
+        // buffered grows, so their true joint maximum never exceeds this).
+        let finish_peak = resident + writer.peak_buffered_bytes();
+        let cols = writer.finish();
+        let (config, doc_names, doc_lens) = (self.config, self.doc_names.finish(), self.doc_lens);
+        (
+            InvertedIndex::from_columns(config, vocab, doc_names, doc_lens, cols),
+            finish_peak,
         )
     }
 }

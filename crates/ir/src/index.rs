@@ -27,6 +27,7 @@ use x100_corpus::SyntheticCollection;
 use x100_storage::{Column, ColumnBuilder, StringColumn, Table};
 
 use crate::bm25::{term_weight, Bm25Params, CollectionStats, Quantizer};
+use crate::columns::IndexColumns;
 
 /// Which materialized score column to build (§3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,25 +133,31 @@ impl InvertedIndex {
         builder.finish(&collection.vocab)
     }
 
-    /// Assembles an index from (term, docid)-sorted posting columns — the
-    /// shared back half of the batch and streaming build paths.
+    /// Assembles an index from already-compressed, (term, docid)-sorted
+    /// posting columns — the shared back half of every build path, fed by
+    /// [`crate::IndexColumnsWriter`] so no uncompressed posting column is
+    /// ever materialized.
     ///
-    /// `offsets[t]..offsets[t + 1]` must be term `t`'s row range in
-    /// `docid_col`/`tf_col`, with docids ascending within each range.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_postings(
+    /// Score materialization (when configured) streams over the compressed
+    /// columns one block pair at a time, so its residency is O(block), not
+    /// O(postings); the fitted quantizer and every score are bit-identical
+    /// to what the old whole-column pass produced (same weights in the same
+    /// order).
+    pub(crate) fn from_columns(
         config: IndexConfig,
         vocab: &[String],
-        doc_names: Vec<String>,
+        doc_names: StringColumn,
         doc_lens: Vec<i32>,
-        doc_freqs: Vec<u32>,
-        offsets: Vec<usize>,
-        docid_col: Vec<u32>,
-        tf_col: Vec<u32>,
+        cols: IndexColumns,
     ) -> Self {
+        let IndexColumns {
+            docid,
+            tf,
+            doc_freqs,
+            offsets,
+        } = cols;
         let num_terms = vocab.len();
         let num_docs = doc_lens.len();
-        let total_postings = docid_col.len();
 
         let doc_lens: Arc<Vec<i32>> = Arc::new(doc_lens);
         let avg_doc_len = if num_docs == 0 {
@@ -163,55 +170,60 @@ impl InvertedIndex {
             avg_doc_len,
         };
 
-        // Build the TD table columns.
-        let (docid_codec, tf_codec) = if config.compress {
-            (Codec::PforDelta { width: 8 }, Codec::Pfor { width: 8 })
-        } else {
-            (Codec::Raw, Codec::Raw)
-        };
-        let mut td = Table::new("TD");
-        td.add_column(build_column(
-            "docid",
-            docid_codec,
-            &docid_col,
-            config.block_size,
-        ));
-        td.add_column(build_column("tf", tf_codec, &tf_col, config.block_size));
-
         // Optional score materialization (§3.3): ω is query-independent
-        // once k1 and b are fixed.
+        // once k1 and b are fixed, and every input (doc_freqs, doc_lens,
+        // collection stats) is known by the time the posting columns are
+        // sealed — so the score column streams off the compressed blocks.
         let mut quantizer = None;
+        let mut score_col = None;
         if config.materialize != Materialize::None {
-            let weights = |i: usize| {
-                let t = term_of_slot(&offsets, i);
+            let weight_of = |t: usize, d: u32, f: u32| {
                 term_weight(
                     config.params,
                     stats,
                     doc_freqs[t],
-                    tf_col[i],
-                    doc_lens[docid_col[i] as usize] as u32,
+                    f,
+                    doc_lens[d as usize] as u32,
                 )
             };
             match config.materialize {
                 Materialize::F32 => {
-                    let bits: Vec<u32> =
-                        (0..total_postings).map(|i| weights(i).to_bits()).collect();
-                    td.add_column(build_column("score", Codec::Raw, &bits, config.block_size));
+                    let mut b =
+                        ColumnBuilder::with_block_size("score", Codec::Raw, config.block_size);
+                    for (t, d, f) in PostingStream::new(&docid, &tf, &offsets) {
+                        b.push(weight_of(t, d, f).to_bits());
+                    }
+                    score_col = Some(b.finish());
                 }
                 Materialize::Quantized8 => {
-                    let qz = Quantizer::fit((0..total_postings).map(weights), 256);
-                    let codes: Vec<u32> =
-                        (0..total_postings).map(|i| qz.encode(weights(i))).collect();
-                    td.add_column(build_column(
+                    // Two streaming passes: fit the global quantizer, then
+                    // encode. Same weight sequence as fitting over a
+                    // materialized column, hence the same quantizer.
+                    let qz = Quantizer::fit(
+                        PostingStream::new(&docid, &tf, &offsets)
+                            .map(|(t, d, f)| weight_of(t, d, f)),
+                        256,
+                    );
+                    let mut b = ColumnBuilder::with_block_size(
                         "score",
                         Codec::Pfor { width: 8 },
-                        &codes,
                         config.block_size,
-                    ));
+                    );
+                    for (t, d, f) in PostingStream::new(&docid, &tf, &offsets) {
+                        b.push(qz.encode(weight_of(t, d, f)));
+                    }
+                    score_col = Some(b.finish());
                     quantizer = Some(qz);
                 }
                 Materialize::None => unreachable!(),
             }
+        }
+
+        let mut td = Table::new("TD");
+        td.add_column(docid);
+        td.add_column(tf);
+        if let Some(score) = score_col {
+            td.add_column(score);
         }
 
         let term_ranges = (0..num_terms).map(|t| offsets[t]..offsets[t + 1]).collect();
@@ -220,7 +232,6 @@ impl InvertedIndex {
             .enumerate()
             .map(|(t, s)| (s.clone(), t as u32))
             .collect();
-        let doc_names = StringColumn::new("name", doc_names);
 
         InvertedIndex {
             config,
@@ -299,15 +310,70 @@ impl InvertedIndex {
     }
 }
 
-fn build_column(name: &str, codec: Codec, values: &[u32], block_size: usize) -> Column {
-    let mut b = ColumnBuilder::with_block_size(name, codec, block_size);
-    b.extend(values);
-    b.finish()
+/// Streams `(term, docid, tf)` triples over aligned compressed posting
+/// columns, decoding **one block pair at a time** — O(block) resident
+/// memory regardless of collection size. Both columns are built with the
+/// same block size, so their block boundaries coincide.
+struct PostingStream<'a> {
+    docid: &'a Column,
+    tf: &'a Column,
+    offsets: &'a [usize],
+    /// Next block index to decode.
+    block: usize,
+    /// Global row of the next item.
+    row: usize,
+    /// Current term (advanced so `offsets[term + 1] > row`).
+    term: usize,
+    dbuf: Vec<u32>,
+    tbuf: Vec<u32>,
+    /// Position of the next item within the decoded buffers.
+    in_block: usize,
 }
 
-/// Maps a TD row index back to its term id via the offsets table.
-fn term_of_slot(offsets: &[usize], slot: usize) -> usize {
-    offsets.partition_point(|&o| o <= slot) - 1
+impl<'a> PostingStream<'a> {
+    fn new(docid: &'a Column, tf: &'a Column, offsets: &'a [usize]) -> Self {
+        debug_assert_eq!(docid.len(), tf.len());
+        debug_assert_eq!(docid.block_size(), tf.block_size());
+        PostingStream {
+            docid,
+            tf,
+            offsets,
+            block: 0,
+            row: 0,
+            term: 0,
+            dbuf: Vec::new(),
+            tbuf: Vec::new(),
+            in_block: 0,
+        }
+    }
+}
+
+impl Iterator for PostingStream<'_> {
+    type Item = (usize, u32, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.in_block == self.dbuf.len() {
+            if self.block == self.docid.block_count() {
+                return None;
+            }
+            self.docid.block(self.block).decode_into(&mut self.dbuf);
+            self.tf.block(self.block).decode_into(&mut self.tbuf);
+            self.block += 1;
+            self.in_block = 0;
+        }
+        // Skip empty terms until the current row falls in `term`'s range.
+        while self.offsets[self.term + 1] <= self.row {
+            self.term += 1;
+        }
+        let item = (
+            self.term,
+            self.dbuf[self.in_block],
+            self.tbuf[self.in_block],
+        );
+        self.row += 1;
+        self.in_block += 1;
+        Some(item)
+    }
 }
 
 #[cfg(test)]
@@ -425,13 +491,38 @@ mod tests {
     }
 
     #[test]
-    fn term_of_slot_inverts_offsets() {
+    fn posting_stream_walks_terms_rows_and_blocks() {
+        // 10 rows over 4 terms (term 1 empty), block size 128 → one block;
+        // then again with tiny values to force multi-block decoding via a
+        // 128-value column.
         let offsets = vec![0usize, 3, 3, 7, 10];
-        assert_eq!(term_of_slot(&offsets, 0), 0);
-        assert_eq!(term_of_slot(&offsets, 2), 0);
-        assert_eq!(term_of_slot(&offsets, 3), 2); // term 1 is empty
-        assert_eq!(term_of_slot(&offsets, 6), 2);
-        assert_eq!(term_of_slot(&offsets, 9), 3);
+        let docids: Vec<u32> = (0..10).collect();
+        let tfs: Vec<u32> = (10..20).collect();
+        let docid = Column::from_values("docid", Codec::Raw, &docids);
+        let tf = Column::from_values("tf", Codec::Raw, &tfs);
+        let got: Vec<(usize, u32, u32)> = PostingStream::new(&docid, &tf, &offsets).collect();
+        let terms: Vec<usize> = got.iter().map(|&(t, _, _)| t).collect();
+        assert_eq!(terms, vec![0, 0, 0, 2, 2, 2, 2, 3, 3, 3]); // term 1 skipped
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, &(_, d, f))| { d == docids[i] && f == tfs[i] }));
+        // Multi-block: 300 rows at block size 128 → 3 blocks.
+        let offsets = vec![0usize, 300];
+        let vals: Vec<u32> = (0..300).collect();
+        let mut b = ColumnBuilder::with_block_size("docid", Codec::Pfor { width: 8 }, 128);
+        b.extend(&vals);
+        let docid = b.finish();
+        let mut b = ColumnBuilder::with_block_size("tf", Codec::Pfor { width: 8 }, 128);
+        b.extend(&vals);
+        let tf = b.finish();
+        assert_eq!(docid.block_count(), 3);
+        let got: Vec<(usize, u32, u32)> = PostingStream::new(&docid, &tf, &offsets).collect();
+        assert_eq!(got.len(), 300);
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, &(t, d, f))| { t == 0 && d == i as u32 && f == i as u32 }));
     }
 
     #[test]

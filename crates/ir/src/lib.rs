@@ -39,6 +39,7 @@
 pub mod bm25;
 pub mod boolean;
 pub mod builder;
+pub mod columns;
 pub mod engine;
 pub mod index;
 pub mod skipping;
@@ -47,6 +48,7 @@ pub mod spill;
 pub use bm25::{Bm25Params, CollectionStats, Quantizer};
 pub use boolean::BooleanQuery;
 pub use builder::{build_index_streaming, StreamingIndexBuilder};
+pub use columns::{IndexColumns, IndexColumnsWriter};
 pub use engine::{QueryEngine, SearchResponse, SearchResult, SearchStrategy};
 pub use index::{IndexConfig, InvertedIndex, Materialize};
 pub use skipping::{intersect_skipping, PostingCursor};

@@ -10,16 +10,22 @@
 //! 2. flush the whole accumulator as one sorted, term-ordered **run file**
 //!    ([`x100_storage::runfile`]) and start over;
 //! 3. on [`finish`](SpillingIndexBuilder::finish), **k-way merge** the runs
-//!    back into one (term, docid)-ordered posting stream and assemble
-//!    exactly the same [`InvertedIndex`] the in-memory paths produce.
+//!    back into one (term, docid)-ordered posting stream, fed term by term
+//!    into a [`crate::IndexColumnsWriter`] that compresses column blocks as
+//!    they fill — the merged `docid`/`tf` columns are **never materialized
+//!    uncompressed**, so the finish-side peak is the merge's live segments
+//!    plus the largest posting list plus two pending blocks
+//!    ([`SpillStats::finish_peak_bytes`]), not the total posting volume.
 //!
 //! Peak posting-accumulator memory is bounded by the budget (plus one
 //! document, when a single document alone exceeds it); run-file I/O is
 //! charged to a [`DiskModel`] and reported in [`SpillStats`]. The
 //! differential test-suite (`tests/spill_vs_memory.rs`) pins builder
 //! equivalence across budgets down to the pathological
-//! spill-after-every-document case, and the merge is property-tested
-//! against a collect-and-sort oracle on adversarial run shapes.
+//! spill-after-every-document case — including per-block bit-identity
+//! against the materialize-then-compress reference — and the merge is
+//! property-tested against a collect-and-sort oracle on adversarial run
+//! shapes.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -32,6 +38,7 @@ use x100_storage::runfile::{RunFileReader, RunFileWriter, RunMeta, RunSource};
 use x100_storage::{DiskModel, IoStats, RunFileError};
 
 use crate::builder::StreamingIndexBuilder;
+use crate::columns::IndexColumnsWriter;
 use crate::index::{IndexConfig, InvertedIndex};
 
 /// Error surfaced by the spill path: run-file corruption/IO, or a run whose
@@ -47,6 +54,13 @@ pub enum SpillError {
         /// The vocabulary size the builder was constructed with.
         num_terms: usize,
     },
+    /// A term id too large for the run-file format's 32-bit term field.
+    /// Surfaced instead of silently truncating when a vocabulary exceeds
+    /// `u32::MAX` ids.
+    TermIdOverflow {
+        /// The offending term slot.
+        term: usize,
+    },
 }
 
 impl fmt::Display for SpillError {
@@ -59,6 +73,9 @@ impl fmt::Display for SpillError {
                     "run term {term} out of range for vocabulary of {num_terms}"
                 )
             }
+            SpillError::TermIdOverflow { term } => {
+                write!(f, "term id {term} exceeds the run-file format's u32 range")
+            }
         }
     }
 }
@@ -67,7 +84,7 @@ impl std::error::Error for SpillError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SpillError::Run(e) => Some(e),
-            SpillError::TermOutOfVocab { .. } => None,
+            SpillError::TermOutOfVocab { .. } | SpillError::TermIdOverflow { .. } => None,
         }
     }
 }
@@ -125,6 +142,14 @@ pub struct SpillStats {
     pub spilled_postings: u64,
     /// Peak bytes of packed postings resident in the accumulator.
     pub peak_accum_bytes: usize,
+    /// Peak bytes of finish-phase intermediates: the merge's live posting
+    /// residency (one in-flight decoded segment per run source plus the
+    /// merged-term buffer, see [`MergeStats`]) plus the columnar writer's
+    /// pending uncompressed blocks — and, on the never-spilled path, the
+    /// resident accumulator being drained. The streaming columnar finish
+    /// keeps this O(sources + block + largest posting list) instead of
+    /// O(total postings).
+    pub finish_peak_bytes: usize,
     /// Simulated write accounting: one request per run flushed, costed via
     /// [`DiskModel::write_cost`].
     pub write_io: IoStats,
@@ -251,6 +276,14 @@ impl SpillingIndexBuilder {
         self.peak_bytes
     }
 
+    /// Packed-posting bytes currently resident in the accumulator (the
+    /// unspilled tail). Drivers finishing several builders in sequence use
+    /// this to account for the accumulators still waiting while another
+    /// builder's finish phase runs.
+    pub fn resident_accum_bytes(&self) -> usize {
+        self.mem_bytes
+    }
+
     /// Accepts the next document and returns its assigned dense docid,
     /// flushing a run first whenever accepting it would exceed the budget.
     ///
@@ -316,7 +349,9 @@ impl SpillingIndexBuilder {
         let lists = self.inner.take_term_lists();
         for (term, list) in lists.iter().enumerate() {
             if !list.is_empty() {
-                writer.push_term(term as u32, list)?;
+                let term_id =
+                    u32::try_from(term).map_err(|_| SpillError::TermIdOverflow { term })?;
+                writer.push_term(term_id, list)?;
             }
         }
         let meta = writer.finish()?;
@@ -347,46 +382,41 @@ impl SpillingIndexBuilder {
             "vocabulary size does not match the builder's term count"
         );
         if self.runs.is_empty() {
-            // Never spilled: the accumulator *is* the in-memory builder.
-            let stats = self.stats();
-            return Ok((self.inner.finish(vocab), stats));
+            // Never spilled: the accumulator *is* the in-memory builder,
+            // whose finish drains term lists straight into the columnar
+            // writer and reports the drain's peak.
+            let mut stats = self.stats();
+            let (index, finish_peak) = self.inner.finish_with_peak(vocab);
+            stats.finish_peak_bytes = finish_peak;
+            return Ok((index, stats));
         }
         if self.mem_bytes > 0 {
             // Uniform merge path: the resident tail becomes the final run.
             self.spill_run()?;
         }
 
+        // Stream the k-way merge straight into compressed column blocks:
+        // each merged term is written and dropped before the next arrives,
+        // so the finish-side peak is the live term buffer plus the writer's
+        // pending blocks — never whole uncompressed columns.
         let num_terms = self.num_terms;
-        let mut doc_freqs = vec![0u32; num_terms];
-        let mut offsets = vec![0usize; num_terms + 1];
-        let mut docid_col: Vec<u32> = Vec::new();
-        let mut tf_col: Vec<u32> = Vec::new();
+        let mut writer = IndexColumnsWriter::new(self.inner.config(), num_terms);
         let mut sources = Vec::with_capacity(self.runs.len());
         for run in &self.runs {
             sources.push(RunFileReader::open(&run.path)?);
         }
-        let mut next_term = 0u32;
-        merge_run_sources(sources, |term, merged| {
-            let slot = term as usize;
-            if slot >= num_terms {
+        let merge_stats = merge_run_sources(sources, |term, merged| {
+            if term as usize >= num_terms {
                 return Err(SpillError::TermOutOfVocab { term, num_terms });
             }
-            // Close the offset gap over absent (empty) terms.
-            for t in next_term as usize..=slot {
-                offsets[t + 1] = offsets[t];
-            }
-            next_term = term + 1;
-            doc_freqs[slot] = merged.len() as u32;
-            offsets[slot + 1] = offsets[slot] + merged.len();
-            for &packed in &merged {
-                docid_col.push((packed >> 32) as u32);
-                tf_col.push(packed as u32);
-            }
+            writer.push_term(term, merged);
             Ok(())
         })?;
-        for t in next_term as usize..num_terms {
-            offsets[t + 1] = offsets[t];
-        }
+        // Peak residency of the merge (in-flight segments + merged buffer)
+        // plus the writer's pending-block high-water. Summing the two maxima
+        // slightly overcounts the true joint peak — conservative is the
+        // right direction for a budget guarantee.
+        let finish_peak = merge_stats.peak_live_bytes + writer.peak_buffered_bytes();
         // Charge the merge's sequential read-back of every run.
         for run in &self.runs {
             self.read_io.record(
@@ -395,12 +425,12 @@ impl SpillingIndexBuilder {
             );
         }
 
-        let stats = self.stats();
+        let mut stats = self.stats();
+        stats.finish_peak_bytes = finish_peak;
+        let cols = writer.finish();
         let (config, doc_names, doc_lens) = self.inner.into_parts();
         Ok((
-            InvertedIndex::from_postings(
-                config, vocab, doc_names, doc_lens, doc_freqs, offsets, docid_col, tf_col,
-            ),
+            InvertedIndex::from_columns(config, vocab, doc_names, doc_lens, cols),
             stats,
         ))
     }
@@ -410,10 +440,22 @@ impl SpillingIndexBuilder {
             runs: self.runs.len(),
             spilled_postings: self.spilled_postings,
             peak_accum_bytes: self.peak_bytes,
+            finish_peak_bytes: 0,
             write_io: self.write_io,
             read_io: self.read_io,
         }
     }
+}
+
+/// What a [`merge_run_sources`] call held live, for finish-phase peak
+/// accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Peak bytes of posting data resident inside the merge at any
+    /// instant: the in-flight decoded segments (one per source, awaiting
+    /// their turn in the heap) **plus** the merged-term buffer. The
+    /// writer's pending blocks are accounted separately by the caller.
+    pub peak_live_bytes: usize,
 }
 
 /// K-way merges run sources into one ascending-term segment stream.
@@ -423,39 +465,50 @@ impl SpillingIndexBuilder {
 /// concatenated in source order and sorted by packed posting word (docid
 /// major, tf minor), so the output is correct even for adversarial runs
 /// whose docid ranges interleave. `on_term` receives each merged term
-/// exactly once, in strictly ascending term order.
+/// exactly once, in strictly ascending term order; the slice it borrows is
+/// **one buffer reused across terms** (it grows to the largest posting list
+/// and stays there), so per-term consumers on the merge hot path never
+/// trigger an allocation here. Returns [`MergeStats`] with the merge's
+/// peak live posting residency (in-flight segments + merged buffer).
 ///
 /// Errors from the sources (corrupt run files) and from `on_term`
 /// propagate; a source that yields non-ascending terms is reported as
 /// corrupt rather than silently mis-merged.
 pub fn merge_run_sources<S: RunSource>(
     mut sources: Vec<S>,
-    mut on_term: impl FnMut(u32, Vec<u64>) -> Result<(), SpillError>,
-) -> Result<(), SpillError> {
+    mut on_term: impl FnMut(u32, &[u64]) -> Result<(), SpillError>,
+) -> Result<MergeStats, SpillError> {
     let mut pending: Vec<Option<(u32, Vec<u64>)>> = Vec::with_capacity(sources.len());
     let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+    // Bytes of decoded postings sitting in `pending`, maintained
+    // incrementally; its high-water (together with the merged buffer) is
+    // what the finish-phase budget accounting needs.
+    let mut pending_bytes = 0usize;
     for (i, src) in sources.iter_mut().enumerate() {
         let seg = src.next_segment()?;
-        if let Some((term, _)) = &seg {
+        if let Some((term, postings)) = &seg {
             heap.push(Reverse((*term, i)));
+            pending_bytes += postings.len() * 8;
         }
         pending.push(seg);
     }
+    let mut stats = MergeStats {
+        peak_live_bytes: pending_bytes,
+    };
+    // Reused across terms: cleared (not shrunk) each round.
+    let mut merged: Vec<u64> = Vec::new();
     while let Some(Reverse((term, _))) = heap.peek().copied() {
-        let mut merged: Vec<u64> = Vec::new();
+        merged.clear();
         while let Some(Reverse((t, i))) = heap.peek().copied() {
             if t != term {
                 break;
             }
             heap.pop();
             let (_, postings) = pending[i].take().expect("heap entry without segment");
-            if merged.is_empty() {
-                merged = postings;
-            } else {
-                merged.extend_from_slice(&postings);
-            }
+            pending_bytes -= postings.len() * 8;
+            merged.extend_from_slice(&postings);
             let seg = sources[i].next_segment()?;
-            if let Some((next_term, _)) = &seg {
+            if let Some((next_term, postings)) = &seg {
                 // Enforce strict per-source ascent here (equal terms
                 // included): with every source ascending, the heap order
                 // makes the emitted stream ascend by construction.
@@ -465,15 +518,17 @@ pub fn merge_run_sources<S: RunSource>(
                     )));
                 }
                 heap.push(Reverse((*next_term, i)));
+                pending_bytes += postings.len() * 8;
             }
             pending[i] = seg;
         }
+        stats.peak_live_bytes = stats.peak_live_bytes.max(pending_bytes + merged.len() * 8);
         // Spill-path runs are docid-disjoint and already ordered, making
         // this near-linear; adversarial sources get full correctness.
         merged.sort_unstable();
-        on_term(term, merged)?;
+        on_term(term, &merged)?;
     }
-    Ok(())
+    Ok(stats)
 }
 
 /// Builds an index from a [`CollectionStream`] under a posting-memory
@@ -543,6 +598,16 @@ mod tests {
         let (c, idx, stats) = build_spilling(8 * 1024);
         assert!(stats.runs > 1, "expected multiple runs, got {}", stats.runs);
         assert!(stats.peak_accum_bytes <= 8 * 1024);
+        // The streamed finish never materializes whole columns: its peak is
+        // bounded by the pending column blocks plus the largest merged term
+        // list, far below the total posting volume.
+        assert!(stats.finish_peak_bytes > 0);
+        assert!(
+            stats.finish_peak_bytes <= idx.num_postings() * 8 + 16 * 1024,
+            "finish peak {} for {} postings",
+            stats.finish_peak_bytes,
+            idx.num_postings()
+        );
         assert_eq!(stats.write_io.reads, stats.runs as u64);
         assert_eq!(stats.read_io.reads, stats.runs as u64); // every run read back
         assert_eq!(stats.write_io.bytes, stats.read_io.bytes);
@@ -584,7 +649,7 @@ mod tests {
         let c = MemRun::new(vec![(0, vec![7]), (5, vec![2])]);
         let mut got = Vec::new();
         merge_run_sources(vec![a, b, c], |t, p| {
-            got.push((t, p));
+            got.push((t, p.to_vec()));
             Ok(())
         })
         .unwrap();
@@ -702,5 +767,20 @@ mod tests {
         let (idx, stats) = b.finish(&vocab).unwrap();
         assert_eq!(idx.num_postings(), 0);
         assert_eq!(stats.runs, 0);
+        assert_eq!(stats.finish_peak_bytes, 0);
+    }
+
+    #[test]
+    fn term_id_overflow_is_a_typed_error() {
+        // A vocabulary slot past u32::MAX cannot be represented in the
+        // run-file format's 32-bit term field; the spill path surfaces a
+        // typed error instead of the silent `as u32` truncation it used to
+        // perform. (Constructing 2^32 real term lists is impractical, so
+        // pin the error type and message directly.)
+        let err = SpillError::TermIdOverflow {
+            term: u32::MAX as usize + 1,
+        };
+        assert!(err.to_string().contains("u32 range"));
+        assert!(std::error::Error::source(&err).is_none());
     }
 }

@@ -49,7 +49,7 @@ fn merge(runs: &[Vec<(u32, Vec<u64>)>]) -> Vec<(u32, Vec<u64>)> {
     let sources: Vec<MemRun> = runs.iter().cloned().map(MemRun::new).collect();
     let mut got = Vec::new();
     merge_run_sources(sources, |term, postings| {
-        got.push((term, postings));
+        got.push((term, postings.to_vec()));
         Ok(())
     })
     .unwrap();

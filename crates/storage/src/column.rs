@@ -85,6 +85,24 @@ impl ColumnBuilder {
         }
     }
 
+    /// Values appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no values have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Values buffered uncompressed, awaiting the next block flush. This is
+    /// the builder's entire uncompressed footprint — everything before it
+    /// already lives in compressed blocks — so streaming writers use
+    /// `pending_len() * 4` for peak-memory accounting.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
     fn flush(&mut self) {
         if !self.pending.is_empty() {
             self.blocks
@@ -189,14 +207,30 @@ impl Column {
         }
     }
 
-    /// Decodes values `[start, start + out_len)` into `out`. `start` must be
-    /// aligned to the entry-point stride (128). The range may span blocks.
+    /// Decodes values `[start, start + len)` into `out` (cleared first).
+    /// The range may span blocks.
+    ///
+    /// # Alignment contract
+    /// `start` must be a multiple of the entry-point stride (128): compressed
+    /// blocks can only begin decoding at an entry point, and **this is where
+    /// the contract is enforced** — a misaligned `start` returns
+    /// [`StorageError::Misaligned`] for every codec, including `Raw`, so
+    /// callers cannot come to depend on alignment-forgiving behavior that
+    /// would only hold for uncompressed columns. (Block sizes are themselves
+    /// multiples of the stride, so an aligned `start` is aligned within its
+    /// block too.)
     pub fn read_range(
         &self,
         start: usize,
         len: usize,
         out: &mut Vec<u32>,
     ) -> Result<(), StorageError> {
+        if !start.is_multiple_of(ENTRY_POINT_STRIDE) {
+            return Err(StorageError::Misaligned {
+                position: start,
+                stride: ENTRY_POINT_STRIDE,
+            });
+        }
         let end = start.saturating_add(len);
         if end > self.len {
             return Err(StorageError::OutOfBounds {
@@ -205,16 +239,28 @@ impl Column {
             });
         }
         out.clear();
+        if len == 0 {
+            return Ok(());
+        }
+        // First block decodes straight into `out`: the posting-scan hot path
+        // reads one entry-point window inside one block per call and must
+        // not allocate. Only multi-block spans pay for a scratch buffer.
         let mut pos = start;
-        let mut scratch = Vec::new();
-        while pos < end {
-            let block_idx = pos / self.block_size;
-            let in_block = pos % self.block_size;
-            let block = &self.blocks[block_idx];
-            let take = (end - pos).min(block.len() - in_block);
-            block.decode_range_into(in_block, take, &mut scratch)?;
-            out.extend_from_slice(&scratch);
-            pos += take;
+        let first = &self.blocks[pos / self.block_size];
+        let in_block = pos % self.block_size;
+        let take = (end - pos).min(first.len() - in_block);
+        first.decode_range_into(in_block, take, out)?;
+        pos += take;
+        if pos < end {
+            let mut scratch = Vec::new();
+            while pos < end {
+                // Subsequent reads start at a block boundary (aligned).
+                let block = &self.blocks[pos / self.block_size];
+                let take = (end - pos).min(block.len());
+                block.decode_range_into(0, take, &mut scratch)?;
+                out.extend_from_slice(&scratch);
+                pos += take;
+            }
         }
         Ok(())
     }
@@ -223,32 +269,98 @@ impl Column {
     /// go through [`crate::scan::ColumnScan`] at vector granularity).
     pub fn read_all(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.len);
-        let mut scratch = Vec::new();
-        for block in &self.blocks {
-            block.decode_into(&mut scratch);
-            out.extend_from_slice(&scratch);
+        let mut blocks = self.blocks.iter();
+        if let Some(first) = blocks.next() {
+            // `decode_into` clears its target, keeping the capacity above.
+            first.decode_into(&mut out);
+            let mut scratch = Vec::new();
+            for block in blocks {
+                block.decode_into(&mut scratch);
+                out.extend_from_slice(&scratch);
+            }
         }
         out
     }
 }
 
-/// An uncompressed variable-length string column (document names, terms).
+/// Strings per [`StringColumn`] page before the builder seals it.
+pub const STRING_PAGE_VALUES: usize = 4096;
+
+/// Byte budget per [`StringColumn`] page: a page is sealed early when its
+/// data area reaches this size, keeping pages bounded even for long strings.
+pub const STRING_PAGE_BYTES: usize = 1 << 20;
+
+/// One sealed page of a [`StringColumn`]: a contiguous UTF-8 arena plus
+/// byte offsets, instead of one heap allocation per string.
+#[derive(Debug, Clone, Default)]
+struct StringPage {
+    /// Concatenated string data.
+    data: String,
+    /// `offsets[i]..offsets[i + 1]` is the byte range of string `i`;
+    /// always one longer than the number of strings in the page.
+    offsets: Vec<u32>,
+}
+
+impl StringPage {
+    fn new() -> Self {
+        StringPage {
+            data: String::new(),
+            offsets: vec![0],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&mut self, value: &str) {
+        self.data.push_str(value);
+        // The builder seals a page before it can grow anywhere near this
+        // limit, so only a single value of ≥ 4 GiB can trip it — fail loud
+        // rather than silently wrapping every later offset in the page.
+        let end = u32::try_from(self.data.len())
+            .expect("string page offset exceeds u32 range (single value ≥ 4 GiB)");
+        self.offsets.push(end);
+    }
+
+    fn get(&self, slot: usize) -> &str {
+        &self.data[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
+    }
+}
+
+/// An uncompressed variable-length string column (document names, terms),
+/// stored in **pages**: contiguous string arenas of at most
+/// [`STRING_PAGE_VALUES`] values / [`STRING_PAGE_BYTES`] bytes each.
 ///
 /// Strings never appear on the scoring hot path — the paper fetches document
-/// names only for the final top-N — so a plain vector suffices.
+/// names only for the final top-N — but at millions of documents one heap
+/// allocation per name dominates the D table's footprint, so the column is
+/// paged the same way the numeric columns are blocked:
+/// [`StringColumnBuilder`] seals a page at a time, and streaming index
+/// builders feed it one name at a time without ever materializing a
+/// `Vec<String>`.
 #[derive(Debug, Clone, Default)]
 pub struct StringColumn {
     name: String,
-    values: Vec<String>,
+    len: usize,
+    pages: Vec<StringPage>,
+    /// First global index of each page (parallel to `pages`).
+    page_starts: Vec<usize>,
 }
 
 impl StringColumn {
-    /// Creates a string column from values.
+    /// Creates a string column from materialized values (test/convenience
+    /// path; streaming construction goes through [`StringColumnBuilder`]).
     pub fn new(name: impl Into<String>, values: Vec<String>) -> Self {
-        StringColumn {
-            name: name.into(),
-            values,
+        let mut b = StringColumnBuilder::new(name);
+        for v in &values {
+            b.push(v);
         }
+        b.finish()
     }
 
     /// The column's name.
@@ -258,22 +370,111 @@ impl StringColumn {
 
     /// Number of values.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.len
     }
 
     /// Whether the column is empty.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len == 0
+    }
+
+    /// Number of sealed pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
     }
 
     /// The string at `idx`, or `None` past the end.
     pub fn get(&self, idx: usize) -> Option<&str> {
-        self.values.get(idx).map(String::as_str)
+        if idx >= self.len {
+            return None;
+        }
+        // Pages are usually uniformly sized, but long strings can seal a
+        // page early, so locate by binary search over the start indexes.
+        let page = self.page_starts.partition_point(|&s| s <= idx) - 1;
+        Some(self.pages[page].get(idx - self.page_starts[page]))
     }
 
-    /// All values.
-    pub fn values(&self) -> &[String] {
-        &self.values
+    /// Iterates all values in order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.pages
+            .iter()
+            .flat_map(|p| (0..p.len()).map(move |i| p.get(i)))
+    }
+}
+
+/// Incremental builder for [`StringColumn`]s: push strings one at a time,
+/// pages seal themselves as they fill.
+#[derive(Debug, Default)]
+pub struct StringColumnBuilder {
+    name: String,
+    len: usize,
+    pages: Vec<StringPage>,
+    page_starts: Vec<usize>,
+    current: StringPage,
+}
+
+impl StringColumnBuilder {
+    /// Starts an empty column.
+    pub fn new(name: impl Into<String>) -> Self {
+        StringColumnBuilder {
+            name: name.into(),
+            len: 0,
+            pages: Vec::new(),
+            page_starts: Vec::new(),
+            current: StringPage::new(),
+        }
+    }
+
+    /// Values appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no values have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one string.
+    ///
+    /// # Panics
+    /// Panics if a *single* value is 4 GiB or larger (a page's byte offsets
+    /// are `u32`; pages seal long before that otherwise).
+    pub fn push(&mut self, value: &str) {
+        // Seal early if this value would carry the current page's data area
+        // past the u32 offset range — then only a lone ≥ 4 GiB value can
+        // overflow a (fresh) page, and that panics loudly in `StringPage::
+        // push` instead of silently wrapping offsets.
+        if !self.current.is_empty()
+            && self.current.data.len().saturating_add(value.len()) > u32::MAX as usize
+        {
+            self.seal();
+        }
+        self.current.push(value);
+        self.len += 1;
+        if self.current.len() >= STRING_PAGE_VALUES || self.current.data.len() >= STRING_PAGE_BYTES
+        {
+            self.seal();
+        }
+    }
+
+    fn seal(&mut self) {
+        let page = std::mem::replace(&mut self.current, StringPage::new());
+        self.page_starts.push(self.len - page.len());
+        self.pages.push(page);
+    }
+
+    /// Finishes the column, sealing any partial page.
+    pub fn finish(mut self) -> StringColumn {
+        if !self.current.is_empty() {
+            self.seal();
+        }
+        StringColumn {
+            name: self.name,
+            len: self.len,
+            pages: self.pages,
+            page_starts: self.page_starts,
+        }
     }
 }
 
@@ -331,6 +532,102 @@ mod tests {
     }
 
     #[test]
+    fn read_range_rejects_misaligned_start_for_every_codec() {
+        // The alignment contract is enforced at the column level, uniformly:
+        // Raw columns *could* serve misaligned reads, but letting them would
+        // hide latent bugs that only fire once a column is compressed.
+        let data = values(600);
+        for codec in [
+            Codec::Raw,
+            Codec::Pfor { width: 8 },
+            Codec::PforDelta { width: 8 },
+            Codec::Pdict { width: 8 },
+        ] {
+            let col = Column::from_values("c", codec, &data);
+            let mut out = Vec::new();
+            for start in [1, 64, 127, 129, 300] {
+                let err = col.read_range(start, 1, &mut out).unwrap_err();
+                assert_eq!(
+                    err,
+                    StorageError::Misaligned {
+                        position: start,
+                        stride: 128
+                    },
+                    "{codec:?} start={start}"
+                );
+            }
+            // Aligned starts keep working, including the last partial stride.
+            col.read_range(512, 88, &mut out).unwrap();
+            assert_eq!(out, &data[512..600], "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn read_range_spans_block_boundaries_for_every_codec() {
+        let data = values(1000);
+        for codec in [
+            Codec::Raw,
+            Codec::Pfor { width: 8 },
+            Codec::PforDelta { width: 8 },
+            Codec::Pdict { width: 8 },
+        ] {
+            let col = {
+                let mut b = ColumnBuilder::with_block_size("c", codec, 256);
+                b.extend(&data);
+                b.finish()
+            };
+            assert_eq!(col.block_count(), 4);
+            let mut out = Vec::new();
+            for (start, len) in [
+                (0, 1000),  // all four blocks
+                (128, 500), // mid-block start, two boundary crossings
+                (256, 256), // exactly one whole block
+                (768, 232), // into the short tail block
+                (896, 0),   // empty range at an aligned start
+            ] {
+                col.read_range(start, len, &mut out).unwrap();
+                assert_eq!(out, &data[start..start + len], "{codec:?} {start}+{len}");
+            }
+        }
+    }
+
+    #[test]
+    fn builder_finish_empty_produces_zero_blocks() {
+        for codec in [Codec::Raw, Codec::Pfor { width: 8 }] {
+            let b = ColumnBuilder::with_block_size("c", codec, 256);
+            assert!(b.is_empty());
+            let col = b.finish();
+            assert_eq!(col.len(), 0);
+            assert_eq!(col.block_count(), 0);
+            assert!(col.read_all().is_empty());
+        }
+    }
+
+    #[test]
+    fn builder_finish_flushes_pending_only_tail() {
+        // Fewer values than one block: everything lives in `pending` until
+        // finish, which must flush exactly one block.
+        let mut b = ColumnBuilder::with_block_size("c", Codec::PforDelta { width: 8 }, 256);
+        b.push(42);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.pending_len(), 1);
+        let col = b.finish();
+        assert_eq!(col.block_count(), 1);
+        assert_eq!(col.read_all(), vec![42]);
+    }
+
+    #[test]
+    fn builder_finish_exact_multiple_adds_no_empty_block() {
+        let data = values(512);
+        let mut b = ColumnBuilder::with_block_size("c", Codec::Pfor { width: 8 }, 256);
+        b.extend(&data);
+        assert_eq!(b.pending_len(), 0); // both blocks already flushed
+        let col = b.finish();
+        assert_eq!(col.block_count(), 2);
+        assert_eq!(col.read_all(), data);
+    }
+
+    #[test]
     fn empty_column() {
         let col = Column::from_values("c", Codec::Pfor { width: 8 }, &[]);
         assert!(col.is_empty());
@@ -361,5 +658,52 @@ mod tests {
         assert_eq!(sc.get(1), Some("b"));
         assert_eq!(sc.get(2), None);
         assert_eq!(sc.name(), "names");
+        assert_eq!(sc.iter().collect::<Vec<_>>(), vec!["a", "b"]);
+        let empty = StringColumn::new("e", Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.get(0), None);
+        assert_eq!(empty.page_count(), 0);
+    }
+
+    #[test]
+    fn string_column_pages_by_value_count() {
+        let n = STRING_PAGE_VALUES * 2 + 7; // two full pages + a partial
+        let values: Vec<String> = (0..n).map(|i| format!("doc-{i:08}")).collect();
+        let mut b = StringColumnBuilder::new("names");
+        for v in &values {
+            b.push(v);
+        }
+        assert_eq!(b.len(), n);
+        let sc = b.finish();
+        assert_eq!(sc.len(), n);
+        assert_eq!(sc.page_count(), 3);
+        // Every value, including the ones straddling page boundaries.
+        for i in [
+            0,
+            STRING_PAGE_VALUES - 1,
+            STRING_PAGE_VALUES,
+            2 * STRING_PAGE_VALUES,
+            n - 1,
+        ] {
+            assert_eq!(sc.get(i), Some(values[i].as_str()), "index {i}");
+        }
+        assert_eq!(sc.get(n), None);
+        assert!(sc.iter().eq(values.iter().map(String::as_str)));
+    }
+
+    #[test]
+    fn string_column_seals_oversized_pages_early() {
+        // A handful of megabyte-scale strings must not pile into one page.
+        let big = "x".repeat(STRING_PAGE_BYTES / 2 + 1);
+        let mut b = StringColumnBuilder::new("blobs");
+        for _ in 0..4 {
+            b.push(&big);
+        }
+        let sc = b.finish();
+        assert_eq!(sc.len(), 4);
+        assert!(sc.page_count() >= 2, "{} pages", sc.page_count());
+        for i in 0..4 {
+            assert_eq!(sc.get(i).map(str::len), Some(big.len()));
+        }
     }
 }

@@ -5,12 +5,14 @@
 //! statistics, same BM25 top-k — down to the pathological budget that
 //! forces a spill after every single document.
 
+use monetdb_x100::compress::Codec;
 use monetdb_x100::corpus::{CollectionConfig, CollectionStream, Scale, SyntheticCollection};
 use monetdb_x100::distributed::SimulatedCluster;
 use monetdb_x100::ir::{
     build_index_streaming, build_index_streaming_spill, IndexConfig, InvertedIndex, Materialize,
     QueryEngine, SearchStrategy, SpillConfig, SpillingIndexBuilder, StreamingIndexBuilder,
 };
+use monetdb_x100::storage::ColumnBuilder;
 
 /// Full structural equality: posting columns, range index, document
 /// metadata and collection statistics.
@@ -94,6 +96,74 @@ fn three_builders_agree_at_tiny_across_budgets_and_configs() {
     }
 }
 
+/// The streaming columnar finish (k-way merge → `IndexColumnsWriter` →
+/// block-at-a-time compression) against the pre-streaming reference
+/// discipline: materialize the whole (term, docid)-sorted posting columns,
+/// then compress them in one shot. Every block must serialize to the exact
+/// same bytes, at every budget — including the never-spilled in-memory
+/// drain and the one-run-per-document pathology — and the finish-phase
+/// peak accounting must be populated.
+#[test]
+fn streaming_columnar_finish_bit_identical_to_materialize_then_compress() {
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    let mut config = IndexConfig::compressed();
+    config.block_size = 256; // force many blocks even at tiny scale
+
+    // Reference: the old materialize-then-compress path, reconstructed from
+    // first principles (sort all postings, compress the full columns).
+    let mut rows: Vec<(u32, u32, u32)> = Vec::new();
+    for (docid, doc) in c.docs.iter().enumerate() {
+        for &(term, tf) in &doc.terms {
+            rows.push((term, docid as u32, tf));
+        }
+    }
+    rows.sort_unstable();
+    let mut ref_docid =
+        ColumnBuilder::with_block_size("docid", Codec::PforDelta { width: 8 }, config.block_size);
+    let mut ref_tf =
+        ColumnBuilder::with_block_size("tf", Codec::Pfor { width: 8 }, config.block_size);
+    for &(_, d, f) in &rows {
+        ref_docid.push(d);
+        ref_tf.push(f);
+    }
+    let (ref_docid, ref_tf) = (ref_docid.finish(), ref_tf.finish());
+    assert!(
+        ref_docid.block_count() > 10,
+        "fixture too small to be probative"
+    );
+
+    let batch = InvertedIndex::build(&c, &config);
+    for budget in [usize::MAX, 32 * 1024, 4 * 1024, 1] {
+        let mut b =
+            SpillingIndexBuilder::new(c.vocab.len(), &config, SpillConfig::with_budget(budget));
+        b.push_docs(&c.docs).unwrap();
+        let (idx, stats) = b.finish(&c.vocab).unwrap();
+        assert!(stats.finish_peak_bytes > 0, "budget {budget}");
+        for (name, reference) in [("docid", &ref_docid), ("tf", &ref_tf)] {
+            let col = idx.td().column(name).unwrap();
+            assert_eq!(col.len(), reference.len(), "{name} budget={budget}");
+            assert_eq!(
+                col.block_count(),
+                reference.block_count(),
+                "{name} budget={budget}"
+            );
+            for i in 0..col.block_count() {
+                assert_eq!(
+                    col.block(i).to_bytes(),
+                    reference.block(i).to_bytes(),
+                    "{name} block {i} diverged at budget {budget}"
+                );
+            }
+            assert_eq!(
+                col.read_all(),
+                reference.read_all(),
+                "{name} budget={budget}"
+            );
+        }
+        assert_same_topk(&idx, &batch, &c);
+    }
+}
+
 #[test]
 fn pathological_budget_spills_after_every_document() {
     // A budget smaller than any document: every push flushes the previous
@@ -133,6 +203,15 @@ fn small_scale_streamed_spill_matches_unbudgeted() {
         stats.runs
     );
     assert!(stats.peak_accum_bytes <= 256 * 1024);
+    // The streamed finish stays far below the total posting volume: its
+    // peak is the largest merged posting list plus two pending blocks.
+    assert!(stats.finish_peak_bytes > 0);
+    assert!(
+        stats.finish_peak_bytes < spilled.num_postings() * 8 / 2,
+        "finish peak {} should be well under the {}-byte materialized columns",
+        stats.finish_peak_bytes,
+        spilled.num_postings() * 8
+    );
     assert_eq!(tail.efficiency_log, plain_tail.efficiency_log);
     assert_indexes_equal(&spilled, &plain, cfg.vocab_size);
 
@@ -203,6 +282,14 @@ fn medium_scale_spill_roundtrip() {
         stats.runs
     );
     assert!(stats.peak_accum_bytes <= 32 << 20);
+    // ~128 MiB of packed postings merge through a finish phase that stays
+    // within the budget too: the columns compress block by block.
+    assert!(stats.finish_peak_bytes > 0);
+    assert!(
+        stats.finish_peak_bytes <= 32 << 20,
+        "finish peak {} exceeded the budget",
+        stats.finish_peak_bytes
+    );
     assert_eq!(stats.spilled_postings as usize, plain.num_postings());
     assert_eq!(spilled.num_postings(), plain.num_postings());
     assert_eq!(
