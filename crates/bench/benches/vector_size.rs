@@ -16,8 +16,7 @@ fn bench_vector_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("vector_size");
     group.sample_size(20);
     for &vs in &[1usize, 16, 256, 1024, 8192, 65536] {
-        let mut engine = QueryEngine::new(&index);
-        engine.set_vector_size(vs);
+        let engine = QueryEngine::new(&index).with_vector_size(vs);
         let _ = engine.search(&query, SearchStrategy::Bm25, 20); // warm buffers
         group.bench_with_input(BenchmarkId::from_parameter(vs), &vs, |b, _| {
             b.iter(|| {

@@ -51,8 +51,7 @@ fn main() {
     let mut results: Vec<(usize, Duration)> = Vec::new();
 
     for &vs in sizes {
-        let mut engine = QueryEngine::new(&index);
-        engine.set_vector_size(vs);
+        let engine = QueryEngine::new(&index).with_vector_size(vs);
         for q in queries.iter().take(5) {
             let _ = engine.search(q, SearchStrategy::Bm25, TOP_N); // warm
         }

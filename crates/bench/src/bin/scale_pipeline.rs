@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use x100_bench::{
     fmt_ms, peak_rss_bytes, take_mem_budget_flag_or_exit, take_scale_flag_or_exit,
-    write_trajectory, Json, TablePrinter,
+    take_usize_flag_or_exit, write_trajectory, Json, TablePrinter,
 };
 use x100_corpus::{precision_at_k, CollectionStream, Scale};
 use x100_distributed::SimulatedCluster;
@@ -41,26 +41,12 @@ use x100_ir::{IndexConfig, QueryEngine, SearchStrategy, SpillConfig, SpillingInd
 const TOP_N: usize = 20;
 const STRATEGY: SearchStrategy = SearchStrategy::Bm25TwoPass;
 
-fn take_usize_flag(args: &mut Vec<String>, name: &str, default: usize) -> usize {
-    let Some(pos) = args.iter().position(|a| a == name) else {
-        return default;
-    };
-    args.remove(pos);
-    if pos < args.len() {
-        if let Ok(v) = args.remove(pos).parse() {
-            return v;
-        }
-    }
-    eprintln!("error: {name} expects an integer value");
-    std::process::exit(2);
-}
-
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let scale = take_scale_flag_or_exit(&mut args).unwrap_or(Scale::Small);
     let mem_budget = take_mem_budget_flag_or_exit(&mut args);
-    let partitions = take_usize_flag(&mut args, "--partitions", 8);
-    let num_queries = take_usize_flag(&mut args, "--queries", 200);
+    let partitions = take_usize_flag_or_exit(&mut args, "--partitions", 8);
+    let num_queries = take_usize_flag_or_exit(&mut args, "--queries", 200);
     if partitions == 0 {
         eprintln!("error: --partitions must be at least 1");
         std::process::exit(2);

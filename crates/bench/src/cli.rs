@@ -27,7 +27,7 @@ pub fn take_scale_flag(args: &mut Vec<String>) -> Result<Option<Scale>, ParseSca
 /// consumed elements so positional parsing is unaffected). `None` when the
 /// flag is absent; a present flag with no value yields an empty string,
 /// which every value parser turns into a helpful error.
-fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+pub fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
     let inline_prefix = format!("{name}=");
     let pos = args
         .iter()
@@ -55,6 +55,19 @@ pub fn take_scale_flag_or_exit(args: &mut Vec<String>) -> Option<Scale> {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Extracts an integer-valued `NAME N` or `NAME=N` flag from `args`,
+/// exiting with a usage message on a malformed value; `default` when
+/// absent.
+pub fn take_usize_flag_or_exit(args: &mut Vec<String>, name: &str, default: usize) -> usize {
+    match take_flag_value(args, name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects an integer value");
+            std::process::exit(2);
+        }),
     }
 }
 
@@ -132,6 +145,19 @@ mod tests {
     fn missing_value_errors() {
         let mut a = args(&["--scale"]);
         assert!(take_scale_flag(&mut a).is_err());
+    }
+
+    #[test]
+    fn usize_flag_forms() {
+        let mut a = args(&["--queries", "400", "rest"]);
+        assert_eq!(take_usize_flag_or_exit(&mut a, "--queries", 500), 400);
+        assert_eq!(a, args(&["rest"]));
+        let mut a = args(&["--queries=250"]);
+        assert_eq!(take_usize_flag_or_exit(&mut a, "--queries", 500), 250);
+        assert!(a.is_empty());
+        let mut a = args(&["positional"]);
+        assert_eq!(take_usize_flag_or_exit(&mut a, "--queries", 500), 500);
+        assert_eq!(a.len(), 1);
     }
 
     #[test]

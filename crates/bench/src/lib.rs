@@ -11,7 +11,8 @@ pub mod json;
 pub mod reference;
 
 pub use cli::{
-    parse_mem_size, take_mem_budget_flag_or_exit, take_scale_flag, take_scale_flag_or_exit,
+    parse_mem_size, take_flag_value, take_mem_budget_flag_or_exit, take_scale_flag,
+    take_scale_flag_or_exit, take_usize_flag_or_exit,
 };
 pub use json::{write_trajectory, Json};
 

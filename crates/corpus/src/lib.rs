@@ -37,7 +37,7 @@ pub mod zipf;
 
 pub use collection::{CollectionConfig, Document, SyntheticCollection};
 pub use eval::{precision_at_k, EvalQuery};
-pub use query::QueryLogConfig;
+pub use query::{QueryLogConfig, QueryLogGenerator};
 pub use scale::Scale;
 pub use stream::{CollectionStream, CollectionTail, DEFAULT_CHUNK_SIZE};
 pub use zipf::ZipfSampler;

@@ -106,6 +106,51 @@ pub fn sample_query_terms(
     terms
 }
 
+/// A seeded, endless Zipfian query-log generator — the serving harness's
+/// traffic source.
+///
+/// A collection's canned `efficiency_log` is a fixed-size sample; load
+/// testing wants an *open-ended* stream with the same statistics (Zipf
+/// band term selection, ~2.3-term mean length) that can be drawn once for
+/// a sequential reference run and re-drawn identically for each concurrent
+/// run. The generator is deterministic in `(config, vocab_size, seed)` and
+/// implements [`Iterator`], so `generator.take(n)` is a reproducible
+/// query log of any length.
+#[derive(Debug, Clone)]
+pub struct QueryLogGenerator {
+    config: QueryLogConfig,
+    vocab_size: usize,
+    rng: rand::rngs::StdRng,
+}
+
+impl QueryLogGenerator {
+    /// A generator over `vocab_size` term ids, deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `vocab_size == 0`.
+    pub fn new(config: QueryLogConfig, vocab_size: usize, seed: u64) -> Self {
+        use rand::SeedableRng;
+        assert!(vocab_size > 0, "vocabulary must be non-empty");
+        QueryLogGenerator {
+            config,
+            vocab_size,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for QueryLogGenerator {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(sample_query_terms(
+            &self.config,
+            self.vocab_size,
+            &mut self.rng,
+        ))
+    }
+}
+
 /// Truncated geometric length: `P(len = k) ∝ (1-p)^(k-1) p` with `p` chosen
 /// so the mean is `avg` (for an untruncated geometric, mean = 1/p).
 fn draw_query_len(avg: f64, max: usize, rng: &mut impl Rng) -> usize {
@@ -175,6 +220,29 @@ mod tests {
             let q = sample_query_terms(&cfg, 40, &mut rng);
             assert!(q.iter().all(|&t| (t as usize) < 40));
         }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_endless() {
+        let cfg = QueryLogConfig::default();
+        let a: Vec<Vec<u32>> = QueryLogGenerator::new(cfg.clone(), 5_000, 42)
+            .take(200)
+            .collect();
+        let b: Vec<Vec<u32>> = QueryLogGenerator::new(cfg.clone(), 5_000, 42)
+            .take(200)
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<Vec<u32>> = QueryLogGenerator::new(cfg, 5_000, 43).take(200).collect();
+        assert_ne!(a, c, "different seeds must diverge");
+        assert!(a
+            .iter()
+            .all(|q| !q.is_empty() && q.iter().all(|&t| (t as usize) < 5_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn generator_rejects_empty_vocab() {
+        let _ = QueryLogGenerator::new(QueryLogConfig::default(), 0, 1);
     }
 
     #[test]

@@ -11,12 +11,14 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use std::time::Instant;
+
 use x100_corpus::{CollectionStream, CollectionTail, SyntheticCollection};
 use x100_ir::{
     IndexConfig, InvertedIndex, QueryEngine, SearchStrategy, SpillConfig, SpillError, SpillStats,
     SpillingIndexBuilder, StreamingIndexBuilder,
 };
-use x100_storage::{BufferManager, BufferMode, DiskModel};
+use x100_storage::{BufferManager, BufferMode, DiskModel, IoStats};
 
 use crate::partition::{partition_collection, Partition};
 
@@ -38,6 +40,11 @@ impl Node {
         &self.index
     }
 
+    /// The node's persistent buffer pool.
+    pub fn buffers(&self) -> &Arc<BufferManager> {
+        &self.buffers
+    }
+
     /// Maps a node-local docid to the global docid.
     pub fn global_id(&self, local: u32) -> u32 {
         self.global_ids[local as usize]
@@ -55,6 +62,40 @@ pub struct MergedResult {
     pub name: String,
     /// Which node produced it.
     pub node: usize,
+}
+
+/// Per-node accounting for one scatter-gather search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTiming {
+    /// Node index.
+    pub node: usize,
+    /// Wall-clock time of the node's local search, as observed by its
+    /// fan-out thread (includes thread scheduling, so under oversubscription
+    /// it exceeds `cpu_time`).
+    pub wall: Duration,
+    /// The node engine's own CPU-side execution time.
+    pub cpu_time: Duration,
+    /// Simulated I/O the node charged during this query (zero in the usual
+    /// hot, RAM-resident configuration).
+    pub io: IoStats,
+    /// Execution passes of the node's local search (two-pass strategies
+    /// reach 2 when the conjunctive first pass came up short); 1 for
+    /// strategies without a fallback, and for failed searches.
+    pub passes: u8,
+}
+
+/// The coordinator's view of one scattered query: the merged global top-N
+/// plus per-node latency accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterResponse {
+    /// Globally ranked hits, best first — bit-identical to
+    /// [`SimulatedCluster::search`] on the same query.
+    pub results: Vec<MergedResult>,
+    /// One timing record per node, in node order. The slowest entry gates
+    /// the query (§3.4's load-imbalance effect, now observable directly).
+    pub node_timings: Vec<NodeTiming>,
+    /// Time the coordinator spent merging the per-node top-N lists.
+    pub merge_time: Duration,
 }
 
 /// A document-partitioned cluster of query nodes.
@@ -249,25 +290,110 @@ impl SimulatedCluster {
     /// Broadcast a query, merge per-node top-`n` into the global top-`n`.
     ///
     /// Ties on score order by global docid, matching the single-node
-    /// engine's earlier-row preference.
+    /// engine's earlier-row preference. Nodes are searched sequentially on
+    /// the calling thread; [`Self::search_scatter`] is the concurrent
+    /// fan-out with identical results.
     pub fn search(&self, terms: &[u32], strategy: SearchStrategy, n: usize) -> Vec<MergedResult> {
-        let mut merged: Vec<MergedResult> = Vec::with_capacity(self.nodes.len() * n);
-        for (ni, node) in self.nodes.iter().enumerate() {
-            let engine = node.engine();
-            if let Ok(resp) = engine.search(terms, strategy, n) {
-                for r in resp.results {
-                    merged.push(MergedResult {
+        let per_node = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(ni, node)| Self::node_search(node, ni, terms, strategy, n).0)
+            .collect();
+        Self::merge_top_n(per_node, n)
+    }
+
+    /// One node's local top-`n`, mapped to global docids, plus its timing.
+    fn node_search(
+        node: &Node,
+        ni: usize,
+        terms: &[u32],
+        strategy: SearchStrategy,
+        n: usize,
+    ) -> (Vec<MergedResult>, NodeTiming) {
+        let started = Instant::now();
+        let engine = node.engine();
+        let (results, cpu_time, io, passes) = match engine.search(terms, strategy, n) {
+            Ok(resp) => {
+                let hits = resp
+                    .results
+                    .into_iter()
+                    .map(|r| MergedResult {
                         docid: node.global_id(r.docid),
                         score: r.score,
                         name: r.name,
                         node: ni,
-                    });
-                }
+                    })
+                    .collect();
+                (hits, resp.cpu_time, resp.io, resp.passes)
             }
-        }
+            Err(_) => (Vec::new(), Duration::ZERO, IoStats::default(), 1),
+        };
+        let timing = NodeTiming {
+            node: ni,
+            wall: started.elapsed(),
+            cpu_time,
+            io,
+            passes,
+        };
+        (results, timing)
+    }
+
+    /// Coordinator merge: concatenates per-node top-`n` lists (given in
+    /// node order) and keeps the global top-`n`. Deterministic: descending
+    /// score with global-docid tie-break.
+    fn merge_top_n(per_node: Vec<Vec<MergedResult>>, n: usize) -> Vec<MergedResult> {
+        let mut merged: Vec<MergedResult> = per_node.into_iter().flatten().collect();
         merged.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.docid.cmp(&b.docid)));
         merged.truncate(n);
         merged
+    }
+
+    /// Scatter-gather search: the query fans out to every partition on its
+    /// own thread, each node runs the *real* single-node engine over its
+    /// persistent buffer pool, and the coordinator merges the per-node
+    /// top-`n` lists into the global top-`n` — the paper's §3.4 serving
+    /// architecture ("broadcast to all indexing nodes ... merged into a
+    /// global top-N"), executed rather than modeled.
+    ///
+    /// Results are bit-identical to the sequential [`Self::search`]: the
+    /// gather step collects per-node lists in node order before the same
+    /// deterministic merge, so thread completion order cannot leak into
+    /// the ranking.
+    pub fn search_scatter(
+        &self,
+        terms: &[u32],
+        strategy: SearchStrategy,
+        n: usize,
+    ) -> ScatterResponse {
+        let mut per_node: Vec<(Vec<MergedResult>, NodeTiming)> =
+            Vec::with_capacity(self.nodes.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(ni, node)| s.spawn(move || Self::node_search(node, ni, terms, strategy, n)))
+                .collect();
+            // `handles` is in node order; joining in order re-establishes a
+            // deterministic gather regardless of completion order.
+            for h in handles {
+                per_node.push(h.join().expect("node search thread panicked"));
+            }
+        });
+        let mut results = Vec::with_capacity(self.nodes.len());
+        let mut node_timings = Vec::with_capacity(self.nodes.len());
+        for (hits, timing) in per_node {
+            results.push(hits);
+            node_timings.push(timing);
+        }
+        let merge_started = Instant::now();
+        let results = Self::merge_top_n(results, n);
+        ScatterResponse {
+            results,
+            node_timings,
+            merge_time: merge_started.elapsed(),
+        }
     }
 
     /// Measures, for each query, the *actual* per-node execution time of
@@ -483,6 +609,42 @@ mod tests {
                 plain.search(&q.terms, SearchStrategy::Bm25, 10)
             );
         }
+    }
+
+    #[test]
+    fn scatter_gather_is_bit_identical_to_sequential() {
+        let (c, cluster) = setup(4);
+        for q in &c.eval_queries {
+            let sequential = cluster.search(&q.terms, SearchStrategy::Bm25, 20);
+            let scattered = cluster.search_scatter(&q.terms, SearchStrategy::Bm25, 20);
+            assert_eq!(scattered.results, sequential);
+        }
+    }
+
+    #[test]
+    fn scatter_records_one_timing_per_node() {
+        let (c, cluster) = setup(3);
+        let resp = cluster.search_scatter(&c.eval_queries[0].terms, SearchStrategy::Bm25, 10);
+        assert_eq!(resp.node_timings.len(), 3);
+        for (i, t) in resp.node_timings.iter().enumerate() {
+            assert_eq!(t.node, i);
+            // The fan-out thread's wall window strictly contains the
+            // engine's own execution window.
+            assert!(
+                t.wall >= t.cpu_time,
+                "node {i}: wall {:?} < cpu {:?}",
+                t.wall,
+                t.cpu_time
+            );
+        }
+    }
+
+    #[test]
+    fn scatter_on_empty_query_returns_empty() {
+        let (_, cluster) = setup(2);
+        let resp = cluster.search_scatter(&[], SearchStrategy::Bm25, 10);
+        assert!(resp.results.is_empty());
+        assert_eq!(resp.node_timings.len(), 2);
     }
 
     #[test]

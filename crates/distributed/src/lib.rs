@@ -23,7 +23,12 @@
 pub mod cluster;
 pub mod partition;
 pub mod schedule;
+pub mod serve;
 
-pub use cluster::{MergedResult, Node, SimulatedCluster};
+pub use cluster::{MergedResult, Node, NodeTiming, ScatterResponse, SimulatedCluster};
 pub use partition::{partition_collection, Partition};
 pub use schedule::{simulate_run, JitterModel, RunConfig, RunStats};
+pub use serve::{
+    run_closed_loop, run_open_loop, AdmissionQueue, LatencyHistogram, QueryOutcome, QueryService,
+    ServeConfig, ServeReport, ServedQuery,
+};

@@ -1,0 +1,893 @@
+//! The concurrent serving path: worker pool, bounded admission, load
+//! generation and latency accounting.
+//!
+//! The paper's throughput argument (§3.4) is that a partitioned index
+//! serves "a heavy query load (hundreds of queries per second)" because
+//! *concurrent* query streams keep every resource busy even while any
+//! single query waits on the slowest node or on I/O. This module makes
+//! that claim executable:
+//!
+//! * [`AdmissionQueue`] — a bounded MPMC queue between load generators and
+//!   workers. Bounded means **backpressure**: when the pool is saturated,
+//!   submitters block instead of buffering unboundedly (the difference
+//!   between a latency spike and an OOM under overload).
+//! * [`QueryService`] — what a worker runs per query. Implemented by
+//!   [`x100_ir::QueryExecutor`] (one node, executors cloned per worker over
+//!   a shared index + lock-striped buffer pool) and by
+//!   `Arc<SimulatedCluster>` (each query scatter-gathers across all
+//!   partitions).
+//! * [`run_closed_loop`] / [`run_open_loop`] — the two canonical load
+//!   shapes: closed-loop (a submitter keeps the queue primed; measures
+//!   capacity) and open-loop (queries arrive on a fixed schedule
+//!   regardless of completions; measures latency at a target rate, with
+//!   latency counted from the *scheduled* arrival so queueing delay under
+//!   saturation is not silently omitted).
+//! * [`LatencyHistogram`] — log-bucketed latency recording with p50/p95/p99
+//!   readout (≤ ~6 % relative bucket error).
+//!
+//! To serve in the *I/O-bound* regime, build the shared pool with
+//! [`x100_storage::BufferManager::with_simulated_miss_latency`]: every
+//! miss then sleeps its simulated disk cost inside the query that
+//! triggered it — exactly once, on the thread that incurred it — so
+//! concurrent workers overlap I/O waits the way a real server overlaps
+//! outstanding disk requests, and throughput scales with added workers
+//! even on a single core. (Sleeping per *worker* on a shared pool would
+//! misattribute I/O: a pool-stats delta taken around one query picks up
+//! concurrent queries' misses.)
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use x100_ir::{QueryExecutor, SearchStrategy};
+use x100_storage::IoStats;
+
+use crate::cluster::SimulatedCluster;
+
+// ---------------------------------------------------------------------------
+// Bounded admission queue
+// ---------------------------------------------------------------------------
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer FIFO with blocking push
+/// (backpressure) and blocking pop. Closing wakes everyone: pending items
+/// still drain, then `pop` returns `None`.
+pub struct AdmissionQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` undelivered items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission queue needs capacity at least 1");
+        AdmissionQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the item
+    /// back as `Err` if the queue was closed before space appeared.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty and not
+    /// closed. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: no further pushes are admitted; pending items
+    /// still drain through `pop`.
+    pub fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Undelivered items currently queued.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+const SUB_BITS: u32 = 4;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS; // 16 linear sub-buckets per octave
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB_BUCKETS as usize) + SUB_BUCKETS as usize;
+
+/// A log-bucketed latency histogram: 16 linear sub-buckets per power of
+/// two of nanoseconds, giving ≤ ~6 % relative error on reported
+/// quantiles across the full `Duration` range — constant memory, O(1)
+/// record, mergeable across workers.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_nanos: u128,
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < SUB_BUCKETS {
+        return nanos as usize;
+    }
+    let msb = 63 - nanos.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((nanos >> shift) & (SUB_BUCKETS - 1)) as usize;
+    (shift as usize) * SUB_BUCKETS as usize + SUB_BUCKETS as usize + sub
+}
+
+/// Inclusive upper bound of a bucket, in nanoseconds.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS as usize {
+        return idx as u64;
+    }
+    let shift = (idx - SUB_BUCKETS as usize) / SUB_BUCKETS as usize;
+    let sub = ((idx - SUB_BUCKETS as usize) % SUB_BUCKETS as usize) as u64;
+    // Widen before shifting: the topmost octave's bound exceeds u64 (its
+    // true upper edge is 2^64·(sub+17)/16), so clamp to u64::MAX instead
+    // of wrapping to 0 and breaking monotonicity.
+    let bound = (u128::from(SUB_BUCKETS + sub + 1) << shift) - 1;
+    u64::try_from(bound).unwrap_or(u64::MAX)
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        let nanos = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum_nanos += u128::from(nanos);
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Folds another histogram into this one (per-worker → run total).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples ([`Duration::ZERO`] when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_nanos / u128::from(self.count)) as u64)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(if self.count == 0 { 0 } else { self.max_nanos })
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): an upper bound on the latency of
+    /// the `⌈q·count⌉`-th fastest sample, within the bucket's ≤ ~6 %
+    /// width. [`Duration::ZERO`] when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Never report beyond the true extremes.
+                return Duration::from_nanos(
+                    bucket_upper(idx).clamp(self.min_nanos, self.max_nanos),
+                );
+            }
+        }
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Median (see [`Self::quantile`]).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query service
+// ---------------------------------------------------------------------------
+
+/// The hits and accounting a service returns for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedQuery {
+    /// `(docid, score)` pairs, best first — docids are global for cluster
+    /// services. Names are deliberately not materialized on the serving
+    /// hot path.
+    pub hits: Vec<(u32, f32)>,
+    /// Simulated disk time charged while this query ran. Exact when the
+    /// service's pool is unshared or idle; on a pool shared with
+    /// concurrent queries it is a stats-delta and may include other
+    /// queries' concurrent misses (run-level totals stay exact).
+    pub io_time: Duration,
+    /// Execution passes (two-pass strategies).
+    pub passes: u8,
+}
+
+/// What a worker runs per admitted query. Implementations must be cheap to
+/// clone — each worker owns a clone, sharing the heavy state (`Arc`s)
+/// underneath.
+pub trait QueryService: Send + Sync {
+    /// Executes one query.
+    ///
+    /// # Panics
+    /// Serving assumes a well-configured plan; implementations panic on
+    /// planning errors (e.g. a materialized-score strategy over an index
+    /// without score columns) rather than degrade silently.
+    fn execute(&self, terms: &[u32], strategy: SearchStrategy, n: usize) -> ServedQuery;
+
+    /// Cumulative simulated-I/O statistics of the underlying pool(s),
+    /// used to account a run's I/O as a start/end delta.
+    fn io_stats(&self) -> IoStats;
+}
+
+impl QueryService for QueryExecutor {
+    fn execute(&self, terms: &[u32], strategy: SearchStrategy, n: usize) -> ServedQuery {
+        let resp = self
+            .search(terms, strategy, n)
+            .expect("serving path: query plan failed");
+        ServedQuery {
+            hits: resp.results.iter().map(|r| (r.docid, r.score)).collect(),
+            io_time: resp.io.sim_time,
+            passes: resp.passes,
+        }
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.buffers().stats()
+    }
+}
+
+/// Scatter-gather serving: every admitted query fans out to all partitions
+/// ([`SimulatedCluster::search_scatter`]) and the worker acts as its
+/// coordinator. The I/O wait is the *slowest node's* simulated disk time —
+/// nodes read in parallel, so that is what gates the query.
+impl QueryService for std::sync::Arc<SimulatedCluster> {
+    fn execute(&self, terms: &[u32], strategy: SearchStrategy, n: usize) -> ServedQuery {
+        let resp = self.search_scatter(terms, strategy, n);
+        let io_time = resp
+            .node_timings
+            .iter()
+            .map(|t| t.io.sim_time)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        // Two-pass accounting: the query "went to a second pass" if any
+        // node's local search did.
+        let passes = resp
+            .node_timings
+            .iter()
+            .map(|t| t.passes)
+            .max()
+            .unwrap_or(1);
+        ServedQuery {
+            hits: resp.results.iter().map(|r| (r.docid, r.score)).collect(),
+            io_time,
+            passes,
+        }
+    }
+
+    fn io_stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for node in self.nodes() {
+            total.merge(&node.buffers().stats());
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool and load loops
+// ---------------------------------------------------------------------------
+
+/// Serving-run configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission queue capacity (in-flight bound; submitters block beyond
+    /// it).
+    pub queue_depth: usize,
+    /// Strategy every query runs with.
+    pub strategy: SearchStrategy,
+    /// Top-N to retrieve per query.
+    pub top_n: usize,
+}
+
+impl ServeConfig {
+    /// A config for `workers` threads with conventional defaults: queue
+    /// depth `2 × workers`, [`SearchStrategy::Bm25TwoPass`], top-20.
+    pub fn new(workers: usize) -> Self {
+        ServeConfig {
+            workers,
+            queue_depth: workers.max(1) * 2,
+            strategy: SearchStrategy::Bm25TwoPass,
+            top_n: 20,
+        }
+    }
+}
+
+/// One admitted query travelling through the pool.
+struct QueryJob {
+    id: usize,
+    terms: Vec<u32>,
+    /// When the query was *supposed* to arrive (open-loop schedule); equals
+    /// `submitted` in closed-loop runs.
+    scheduled: Instant,
+    /// When its submission *attempt* began; admission may come later if
+    /// the bounded queue was full.
+    submitted: Instant,
+}
+
+/// Per-query outcome, reported in query order.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Index of the query in the submitted log.
+    pub id: usize,
+    /// Worker that served it.
+    pub worker: usize,
+    /// `(docid, score)` hits, best first.
+    pub hits: Vec<(u32, f32)>,
+    /// Time spent in the admission system: from the submission attempt to
+    /// dequeue by a worker — deliberately *including* any backpressure
+    /// blocking before the bounded queue admitted the job, so saturation
+    /// shows up here rather than vanishing.
+    pub queue_wait: Duration,
+    /// Time from dequeue to completion (includes simulated-I/O sleeps when
+    /// the service's pool enacts miss latency).
+    pub service_time: Duration,
+    /// End-to-end latency from the *scheduled* arrival to completion — in
+    /// open-loop runs this includes backpressure delay before admission,
+    /// so saturation cannot hide queueing (no coordinated omission).
+    pub latency: Duration,
+    /// Simulated disk time charged to this query.
+    pub io_time: Duration,
+    /// Execution passes.
+    pub passes: u8,
+}
+
+/// Aggregate results of one serving run.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Worker count the run used.
+    pub workers: usize,
+    /// Queries completed (always the full log; workers drain the queue).
+    pub completed: usize,
+    /// Wall-clock time from first submission to last completion.
+    pub wall: Duration,
+    /// Completed queries per wall-clock second.
+    pub qps: f64,
+    /// End-to-end latency distribution (scheduled arrival → completion).
+    pub latency: LatencyHistogram,
+    /// Admission-system wait distribution (backpressure + in-queue; see
+    /// [`QueryOutcome::queue_wait`]).
+    pub queue_wait: LatencyHistogram,
+    /// Worker service-time distribution.
+    pub service: LatencyHistogram,
+    /// Simulated I/O charged during the run (pool-stats delta).
+    pub io: IoStats,
+    /// Per-query outcomes in query order (`outcomes[i].id == i`).
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+/// Closed-loop load: the submitter keeps the bounded queue primed and the
+/// workers never starve — measures the configuration's *capacity* (max
+/// sustainable QPS). Latency under closed loop includes only queue wait
+/// within the bounded depth, not open-loop queueing delay.
+pub fn run_closed_loop<S: QueryService + Clone>(
+    service: &S,
+    config: &ServeConfig,
+    queries: &[Vec<u32>],
+) -> ServeReport {
+    run(service, config, queries, None)
+}
+
+/// Open-loop load at a fixed arrival rate (queries per second): query `i`
+/// is scheduled at `i / rate` and submitted then (or as soon as the
+/// bounded queue admits it). Measures latency at a target throughput; at
+/// rates beyond capacity, backpressure delay shows up in `latency`.
+///
+/// # Panics
+/// Panics if `rate_qps` is not finite and positive.
+pub fn run_open_loop<S: QueryService + Clone>(
+    service: &S,
+    config: &ServeConfig,
+    queries: &[Vec<u32>],
+    rate_qps: f64,
+) -> ServeReport {
+    assert!(
+        rate_qps.is_finite() && rate_qps > 0.0,
+        "open-loop arrival rate must be positive"
+    );
+    run(service, config, queries, Some(rate_qps))
+}
+
+fn run<S: QueryService + Clone>(
+    service: &S,
+    config: &ServeConfig,
+    queries: &[Vec<u32>],
+    arrival_rate: Option<f64>,
+) -> ServeReport {
+    assert!(config.workers > 0, "at least one worker required");
+    let queue: AdmissionQueue<QueryJob> = AdmissionQueue::new(config.queue_depth);
+    let slots: Vec<Mutex<Option<QueryOutcome>>> =
+        (0..queries.len()).map(|_| Mutex::new(None)).collect();
+    let io_before = service.io_stats();
+    let start = Instant::now();
+
+    /// Closes the queue when a worker unwinds, so a panicking pool can
+    /// never strand the load generator in a blocking `push` with no
+    /// consumers left (closing an already-closed queue is a no-op, so the
+    /// normal exit path is unaffected).
+    struct CloseOnDrop<'a, T>(&'a AdmissionQueue<T>);
+    impl<T> Drop for CloseOnDrop<'_, T> {
+        fn drop(&mut self) {
+            self.0.close();
+        }
+    }
+
+    std::thread::scope(|s| {
+        for worker in 0..config.workers {
+            let svc = service.clone();
+            let queue = &queue;
+            let slots = &slots;
+            s.spawn(move || {
+                let _close_on_panic = CloseOnDrop(queue);
+                while let Some(job) = queue.pop() {
+                    let dequeued = Instant::now();
+                    let served = svc.execute(&job.terms, config.strategy, config.top_n);
+                    let done = Instant::now();
+                    let outcome = QueryOutcome {
+                        id: job.id,
+                        worker,
+                        hits: served.hits,
+                        queue_wait: dequeued.saturating_duration_since(job.submitted),
+                        service_time: done.saturating_duration_since(dequeued),
+                        latency: done.saturating_duration_since(job.scheduled),
+                        io_time: served.io_time,
+                        passes: served.passes,
+                    };
+                    *slots[job.id].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                }
+            });
+        }
+
+        // Load generation on the calling thread.
+        for (id, terms) in queries.iter().enumerate() {
+            let scheduled = match arrival_rate {
+                Some(rate) => {
+                    let target = start + Duration::from_secs_f64(id as f64 / rate);
+                    if let Some(wait) = target.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    target
+                }
+                None => Instant::now(),
+            };
+            let job = QueryJob {
+                id,
+                terms: terms.clone(),
+                scheduled,
+                submitted: Instant::now(),
+            };
+            if queue.push(job).is_err() {
+                // Only workers close the queue mid-run, and only by
+                // unwinding; stop submitting and let the scope propagate
+                // their panic.
+                break;
+            }
+        }
+        queue.close();
+    });
+
+    let wall = start.elapsed();
+    let mut latency = LatencyHistogram::new();
+    let mut queue_wait = LatencyHistogram::new();
+    let mut service_hist = LatencyHistogram::new();
+    let mut outcomes = Vec::with_capacity(queries.len());
+    for slot in slots {
+        let outcome = slot
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("worker pool dropped a query");
+        latency.record(outcome.latency);
+        queue_wait.record(outcome.queue_wait);
+        service_hist.record(outcome.service_time);
+        outcomes.push(outcome);
+    }
+    let completed = outcomes.len();
+    ServeReport {
+        workers: config.workers,
+        completed,
+        wall,
+        qps: completed as f64 / wall.as_secs_f64().max(1e-9),
+        latency,
+        queue_wait,
+        service: service_hist,
+        io: service.io_stats().delta_since(&io_before),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use x100_corpus::{CollectionConfig, SyntheticCollection};
+    use x100_ir::{IndexConfig, InvertedIndex};
+
+    fn tiny_service() -> (Vec<Vec<u32>>, QueryExecutor) {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let idx = Arc::new(InvertedIndex::build(&c, &IndexConfig::compressed()));
+        let queries = c.efficiency_log.clone();
+        (queries, QueryExecutor::new(idx))
+    }
+
+    #[test]
+    fn queue_delivers_every_item_exactly_once() {
+        let queue: Arc<AdmissionQueue<usize>> = Arc::new(AdmissionQueue::new(4));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let queue = queue.clone();
+                let seen = seen.clone();
+                s.spawn(move || {
+                    while let Some(v) = queue.pop() {
+                        seen.lock().unwrap().push(v);
+                    }
+                });
+            }
+            for v in 0..100 {
+                queue.push(v).unwrap();
+            }
+            queue.close();
+        });
+        let mut got = seen.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_push_after_close_is_rejected() {
+        let queue: AdmissionQueue<u32> = AdmissionQueue::new(2);
+        queue.push(1).unwrap();
+        queue.close();
+        assert_eq!(queue.push(2), Err(2));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn queue_bounds_create_backpressure() {
+        // One worker consuming a 10 ms job at a time from a depth-1 queue:
+        // the fifth push cannot complete before ~3 services have finished.
+        let queue: AdmissionQueue<u32> = AdmissionQueue::new(1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while queue.pop().is_some() {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            });
+            let start = Instant::now();
+            for v in 0..5 {
+                queue.push(v).unwrap();
+            }
+            let elapsed = start.elapsed();
+            queue.close();
+            assert!(
+                elapsed >= Duration::from_millis(25),
+                "pushes returned too fast for a bounded queue: {elapsed:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_known_samples() {
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50().as_secs_f64() * 1e3;
+        let p99 = h.p99().as_secs_f64() * 1e3;
+        assert!((47.0..=57.0).contains(&p50), "p50 {p50} ms");
+        assert!((94.0..=107.0).contains(&p99), "p99 {p99} ms");
+        assert_eq!(h.max(), Duration::from_millis(100));
+        assert!(h.quantile(0.0) >= Duration::from_millis(1));
+        assert!(h.quantile(1.0) <= Duration::from_millis(100));
+        let mean = h.mean().as_secs_f64() * 1e3;
+        assert!((50.0..51.0).contains(&mean), "mean {mean} ms");
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..200u64 {
+            let d = Duration::from_micros(7 * i + 3);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            all.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.p50(), all.p50());
+        assert_eq!(a.p99(), all.p99());
+        assert_eq!(a.mean(), all.mean());
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_monotone_and_contain_their_values() {
+        let mut prev = 0u64;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            255,
+            1_000,
+            65_535,
+            1 << 30,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let idx = bucket_of(v);
+            let upper = bucket_upper(idx);
+            assert!(upper >= v, "upper({idx}) = {upper} < {v}");
+            assert!(upper >= prev);
+            // Relative bucket error stays within ~1/16 + 1 (the topmost
+            // octave clamps at u64::MAX, where the bound is exact anyway).
+            assert!(
+                upper - v <= v / 16 + 1 || upper == u64::MAX,
+                "bucket too wide at {v}: {upper}"
+            );
+            prev = upper;
+        }
+    }
+
+    #[test]
+    fn closed_loop_serves_every_query_bit_identically() {
+        let (queries, exec) = tiny_service();
+        let reference: Vec<Vec<(u32, f32)>> = queries
+            .iter()
+            .map(|q| exec.execute(q, SearchStrategy::Bm25TwoPass, 10).hits)
+            .collect();
+        for workers in [1usize, 3] {
+            let mut cfg = ServeConfig::new(workers);
+            cfg.top_n = 10;
+            let report = run_closed_loop(&exec, &cfg, &queries);
+            assert_eq!(report.completed, queries.len());
+            assert_eq!(report.latency.count() as usize, queries.len());
+            assert!(report.qps > 0.0);
+            for (i, outcome) in report.outcomes.iter().enumerate() {
+                assert_eq!(outcome.id, i);
+                assert_eq!(
+                    outcome.hits, reference[i],
+                    "worker-pool hits diverged on query {i} at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_completes_and_measures_from_schedule() {
+        let (queries, exec) = tiny_service();
+        let queries = &queries[..20.min(queries.len())];
+        let mut cfg = ServeConfig::new(2);
+        cfg.top_n = 5;
+        let report = run_open_loop(&exec, &cfg, queries, 2_000.0);
+        assert_eq!(report.completed, queries.len());
+        // Arrivals were spaced 0.5 ms apart: the run cannot have finished
+        // faster than the schedule's span.
+        assert!(report.wall >= Duration::from_secs_f64((queries.len() - 1) as f64 / 2_000.0));
+        assert!(report.latency.count() as usize == queries.len());
+    }
+
+    #[test]
+    fn cluster_service_matches_sequential_broadcast() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let cluster = Arc::new(SimulatedCluster::build(&c, 3, &IndexConfig::compressed()));
+        let queries: Vec<Vec<u32>> = c.efficiency_log.iter().take(10).cloned().collect();
+        let reference: Vec<Vec<(u32, f32)>> = queries
+            .iter()
+            .map(|q| {
+                cluster
+                    .search(q, SearchStrategy::Bm25, 10)
+                    .into_iter()
+                    .map(|r| (r.docid, r.score))
+                    .collect()
+            })
+            .collect();
+        let mut cfg = ServeConfig::new(2);
+        cfg.strategy = SearchStrategy::Bm25;
+        cfg.top_n = 10;
+        let report = run_closed_loop(&cluster, &cfg, &queries);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.hits, reference[i], "query {i}");
+        }
+    }
+
+    /// A deterministic service that sleeps: used to pin scaling and
+    /// accounting behaviour without engine noise.
+    #[derive(Clone)]
+    struct SleepService {
+        sleep: Duration,
+        executed: Arc<AtomicUsize>,
+    }
+
+    impl QueryService for SleepService {
+        fn execute(&self, terms: &[u32], _strategy: SearchStrategy, _n: usize) -> ServedQuery {
+            std::thread::sleep(self.sleep);
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            ServedQuery {
+                hits: vec![(terms.first().copied().unwrap_or(0), 1.0)],
+                io_time: Duration::ZERO,
+                passes: 1,
+            }
+        }
+
+        fn io_stats(&self) -> IoStats {
+            IoStats::default()
+        }
+    }
+
+    /// A service that always panics — a misconfigured plan, per the
+    /// `QueryService::execute` contract.
+    #[derive(Clone)]
+    struct PanicService;
+
+    impl QueryService for PanicService {
+        fn execute(&self, _terms: &[u32], _strategy: SearchStrategy, _n: usize) -> ServedQuery {
+            panic!("boom: service cannot plan this query");
+        }
+
+        fn io_stats(&self) -> IoStats {
+            IoStats::default()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn panicking_workers_propagate_instead_of_deadlocking_the_submitter() {
+        // All workers die on their first query; the drop guard closes the
+        // queue so the submitter unblocks and the scope re-raises the
+        // worker panic — previously the submitter waited forever on a
+        // full queue with no consumers.
+        let queries: Vec<Vec<u32>> = (0..64u32).map(|i| vec![i]).collect();
+        let _ = run_closed_loop(&PanicService, &ServeConfig::new(2), &queries);
+    }
+
+    #[test]
+    fn workers_overlap_waiting_services() {
+        let service = SleepService {
+            sleep: Duration::from_millis(5),
+            executed: Arc::new(AtomicUsize::new(0)),
+        };
+        let queries: Vec<Vec<u32>> = (0..24u32).map(|i| vec![i]).collect();
+        let one = run_closed_loop(&service, &ServeConfig::new(1), &queries);
+        let four = run_closed_loop(&service, &ServeConfig::new(4), &queries);
+        assert_eq!(service.executed.load(Ordering::Relaxed), 48);
+        // Sleep-bound workloads scale ~linearly; 2x is a conservative
+        // floor that stays robust on loaded CI machines.
+        assert!(
+            four.qps > one.qps * 2.0,
+            "4 workers {:.0} qps vs 1 worker {:.0} qps",
+            four.qps,
+            one.qps
+        );
+    }
+}

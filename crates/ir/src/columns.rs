@@ -10,7 +10,7 @@
 //! time**, and it pushes values into [`x100_storage::ColumnBuilder`]s that
 //! compress and seal a block as soon as one fills. At no point does an
 //! uncompressed column exist; the writer's uncompressed residency is two
-//! pending blocks, tracked by [`IndexColumnsWriter::buffered_bytes`] and
+//! pending blocks, tracked by [`IndexColumnsWriter::peak_buffered_bytes`] and
 //! reported through `SpillStats::finish_peak_bytes`.
 //!
 //! The produced blocks are **bit-identical** to the old materialize-then-

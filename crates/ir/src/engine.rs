@@ -86,9 +86,15 @@ pub struct SearchResponse {
     /// 1 or 2 (two-pass strategies only reach 2 when the first pass came
     /// up short).
     pub passes: u8,
-    /// Simulated I/O charged during this search.
+    /// Simulated I/O charged during this search. Computed as a delta of
+    /// the (shared) buffer pool's counters: exact when the pool serves one
+    /// query at a time; with concurrent queries on the same pool it may
+    /// include their interleaved misses (run-level pool totals stay
+    /// exact).
     pub io: IoStats,
-    /// Wall-clock execution time (CPU side; excludes simulated I/O).
+    /// Wall-clock execution time. Excludes *accounted* simulated I/O, but
+    /// includes the real sleeps a pool built with
+    /// `BufferManager::with_simulated_miss_latency` enacts on misses.
     pub cpu_time: Duration,
 }
 
@@ -140,9 +146,14 @@ impl<'a> QueryEngine<'a> {
         self.index
     }
 
-    /// Sets the execution vector size (the §4 demonstration knob).
-    pub fn set_vector_size(&mut self, size: impl Into<VectorSize>) {
+    /// Builder-style vector-size override (the §4 demonstration knob),
+    /// folded into construction so a finished engine is immutable: every
+    /// query method takes `&self`, and engines can be shared or rebuilt
+    /// per worker without interior mutability.
+    #[must_use]
+    pub fn with_vector_size(mut self, size: impl Into<VectorSize>) -> Self {
         self.vector_size = size.into().get();
+        self
     }
 
     /// Current vector size.
@@ -213,10 +224,7 @@ impl<'a> QueryEngine<'a> {
         ranked.truncate(n);
 
         let cpu_time = started.elapsed();
-        let mut io = self.buffers.stats();
-        io.reads -= io_before.reads;
-        io.bytes -= io_before.bytes;
-        io.sim_time = io.sim_time.saturating_sub(io_before.sim_time);
+        let io = self.buffers.stats().delta_since(&io_before);
 
         let results = ranked
             .into_iter()
@@ -462,10 +470,7 @@ impl<'a> QueryEngine<'a> {
         op.close();
 
         let cpu_time = started.elapsed();
-        let mut io = self.buffers.stats();
-        io.reads -= io_before.reads;
-        io.bytes -= io_before.bytes;
-        io.sim_time = io.sim_time.saturating_sub(io_before.sim_time);
+        let io = self.buffers.stats().delta_since(&io_before);
         let results = docids
             .into_iter()
             .map(|docid| SearchResult {
@@ -594,10 +599,7 @@ impl<'a> QueryEngine<'a> {
         }
 
         let cpu_time = started.elapsed();
-        let mut io = self.buffers.stats();
-        io.reads -= io_before.reads;
-        io.bytes -= io_before.bytes;
-        io.sim_time = io.sim_time.saturating_sub(io_before.sim_time);
+        let io = self.buffers.stats().delta_since(&io_before);
         let results = scored
             .into_iter()
             .map(|(docid, score)| SearchResult {
@@ -971,8 +973,7 @@ mod tests {
         let terms = pick_terms(&c, &idx);
         let mut baseline: Option<Vec<SearchResult>> = None;
         for vs in [1usize, 7, 64, 1024, 100_000] {
-            let mut engine = QueryEngine::new(&idx);
-            engine.set_vector_size(vs);
+            let engine = QueryEngine::new(&idx).with_vector_size(vs);
             let resp = engine.search(&terms, SearchStrategy::Bm25, 10).unwrap();
             match &baseline {
                 None => baseline = Some(resp.results),

@@ -1,0 +1,234 @@
+//! Shareable query execution for concurrent serving.
+//!
+//! [`crate::QueryEngine`] borrows its index, which is the right shape for
+//! single-threaded experiments but awkward to hand to a worker pool. A
+//! [`QueryExecutor`] owns `Arc` handles to the index and the buffer
+//! manager instead: cloning one is two reference-count bumps, every query
+//! method takes `&self`, and the type is statically `Send + Sync` — so a
+//! serving layer clones one executor per worker thread and all workers
+//! share a single RAM-resident index and one (lock-striped) buffer pool.
+//!
+//! The execution vector size is fixed at construction (builder-style
+//! [`QueryExecutor::with_vector_size`]); there is deliberately no `&mut`
+//! setter, so an executor observed by many threads can never change
+//! configuration under them.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use x100_corpus::{CollectionConfig, SyntheticCollection};
+//! use x100_ir::{IndexConfig, InvertedIndex, QueryExecutor, SearchStrategy};
+//!
+//! let collection = SyntheticCollection::generate(&CollectionConfig::tiny());
+//! let index = Arc::new(InvertedIndex::build(&collection, &IndexConfig::compressed()));
+//! let executor = QueryExecutor::new(index);
+//! let query = &collection.eval_queries[0];
+//!
+//! // Workers clone the executor; the index and buffer pool stay shared.
+//! let handles: Vec<_> = (0..2)
+//!     .map(|_| {
+//!         let exec = executor.clone();
+//!         let terms = query.terms.clone();
+//!         std::thread::spawn(move || exec.search(&terms, SearchStrategy::Bm25, 10).unwrap())
+//!     })
+//!     .collect();
+//! let mut responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+//! assert_eq!(responses[0].results, responses[1].results);
+//! # let _ = responses.pop();
+//! ```
+
+use std::sync::Arc;
+
+use x100_exec::ExecError;
+use x100_storage::{BufferManager, BufferMode, DiskModel};
+use x100_vector::VectorSize;
+
+use crate::engine::{QueryEngine, SearchResponse, SearchResult, SearchStrategy};
+use crate::index::InvertedIndex;
+
+/// A cheaply clonable, thread-shareable query executor: `Arc`-owned index
+/// and buffer pool plus an immutable execution configuration.
+///
+/// Each call to a query method builds its per-query operator state (plan,
+/// scan cursors, decode scratch) on the executor's stack via a short-lived
+/// [`QueryEngine`], so concurrent queries on clones never share mutable
+/// state — only the index (read-only) and the lock-striped buffer manager.
+#[derive(Clone)]
+pub struct QueryExecutor {
+    index: Arc<InvertedIndex>,
+    buffers: Arc<BufferManager>,
+    vector_size: usize,
+}
+
+// Compile-time guarantees: an executor can be handed to worker threads
+// (`Send`), shared between them (`Sync`), and duplicated per worker
+// (`Clone`). If a future field breaks any of these, this fails to build.
+const _: () = {
+    const fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+    assert_send_sync_clone::<QueryExecutor>();
+};
+
+impl QueryExecutor {
+    /// Executor with hot (unbounded, warm-once) buffering and the default
+    /// RAID disk model.
+    pub fn new(index: Arc<InvertedIndex>) -> Self {
+        Self::with_buffering(index, DiskModel::raid12(), BufferMode::Hot, 0)
+    }
+
+    /// Executor with an explicit disk model and buffer mode.
+    pub fn with_buffering(
+        index: Arc<InvertedIndex>,
+        disk: DiskModel,
+        mode: BufferMode,
+        capacity_bytes: usize,
+    ) -> Self {
+        Self::with_buffer_manager(
+            index,
+            Arc::new(BufferManager::with_mode(disk, mode, capacity_bytes)),
+        )
+    }
+
+    /// Executor over an externally owned buffer manager — the serving path
+    /// keeps one persistent pool per node and clones executors over it.
+    pub fn with_buffer_manager(index: Arc<InvertedIndex>, buffers: Arc<BufferManager>) -> Self {
+        QueryExecutor {
+            index,
+            buffers,
+            vector_size: VectorSize::DEFAULT.get(),
+        }
+    }
+
+    /// Builder-style vector-size override, fixed for the executor's
+    /// lifetime (and inherited by its clones).
+    #[must_use]
+    pub fn with_vector_size(mut self, size: impl Into<VectorSize>) -> Self {
+        self.vector_size = size.into().get();
+        self
+    }
+
+    /// The shared index.
+    pub fn index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// The shared buffer manager (for warming, evicting, stats).
+    pub fn buffers(&self) -> &Arc<BufferManager> {
+        &self.buffers
+    }
+
+    /// The configured vector size.
+    pub fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+
+    /// A borrowed [`QueryEngine`] view over the shared index and pool —
+    /// the per-query execution scratch. Construction is a few pointer
+    /// copies; plans and decode buffers are built per query inside the
+    /// engine's methods.
+    pub fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine::with_buffer_manager(&self.index, self.buffers.clone())
+            .with_vector_size(self.vector_size)
+    }
+
+    /// Runs one query: term ids in, ranked top-`n` out. See
+    /// [`QueryEngine::search`].
+    pub fn search(
+        &self,
+        term_ids: &[u32],
+        strategy: SearchStrategy,
+        n: usize,
+    ) -> Result<SearchResponse, ExecError> {
+        self.engine().search(term_ids, strategy, n)
+    }
+
+    /// Convenience: search by term strings, returning just the hits. See
+    /// [`QueryEngine::search_terms`].
+    pub fn search_terms(
+        &self,
+        terms: &[&str],
+        strategy: SearchStrategy,
+        n: usize,
+    ) -> Vec<SearchResult> {
+        self.engine().search_terms(terms, strategy, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use x100_corpus::{CollectionConfig, SyntheticCollection};
+
+    fn setup() -> (SyntheticCollection, QueryExecutor) {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let idx = Arc::new(InvertedIndex::build(&c, &IndexConfig::compressed()));
+        let exec = QueryExecutor::new(idx);
+        (c, exec)
+    }
+
+    #[test]
+    fn executor_matches_borrowing_engine() {
+        let (c, exec) = setup();
+        let engine = QueryEngine::new(exec.index());
+        for q in c.eval_queries.iter().take(3) {
+            let a = exec.search(&q.terms, SearchStrategy::Bm25, 10).unwrap();
+            let b = engine.search(&q.terms, SearchStrategy::Bm25, 10).unwrap();
+            assert_eq!(a.results, b.results);
+        }
+    }
+
+    #[test]
+    fn clones_share_index_and_pool() {
+        let (_, exec) = setup();
+        let clone = exec.clone();
+        assert!(Arc::ptr_eq(exec.index(), clone.index()));
+        assert!(Arc::ptr_eq(exec.buffers(), clone.buffers()));
+        assert_eq!(exec.vector_size(), clone.vector_size());
+    }
+
+    #[test]
+    fn vector_size_is_construction_time_and_inherited() {
+        let (c, exec) = setup();
+        let tuned = exec.clone().with_vector_size(64usize);
+        assert_eq!(tuned.vector_size(), 64);
+        assert_eq!(tuned.clone().vector_size(), 64);
+        let q = &c.eval_queries[0];
+        assert_eq!(
+            exec.search(&q.terms, SearchStrategy::Bm25, 10)
+                .unwrap()
+                .results,
+            tuned
+                .search(&q.terms, SearchStrategy::Bm25, 10)
+                .unwrap()
+                .results,
+        );
+    }
+
+    #[test]
+    fn concurrent_clones_agree_with_sequential() {
+        let (c, exec) = setup();
+        let queries: Vec<Vec<u32>> = c.eval_queries.iter().map(|q| q.terms.clone()).collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                exec.search(q, SearchStrategy::Bm25TwoPass, 10)
+                    .unwrap()
+                    .results
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let exec = exec.clone();
+                let queries = &queries;
+                let sequential = &sequential;
+                s.spawn(move || {
+                    for (q, expect) in queries.iter().zip(sequential) {
+                        let got = exec.search(q, SearchStrategy::Bm25TwoPass, 10).unwrap();
+                        assert_eq!(&got.results, expect);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -41,6 +41,7 @@ pub mod boolean;
 pub mod builder;
 pub mod columns;
 pub mod engine;
+pub mod executor;
 pub mod index;
 pub mod skipping;
 pub mod spill;
@@ -50,6 +51,7 @@ pub use boolean::BooleanQuery;
 pub use builder::{build_index_streaming, StreamingIndexBuilder};
 pub use columns::{IndexColumns, IndexColumnsWriter};
 pub use engine::{QueryEngine, SearchResponse, SearchResult, SearchStrategy};
+pub use executor::QueryExecutor;
 pub use index::{IndexConfig, InvertedIndex, Materialize};
 pub use skipping::{intersect_skipping, PostingCursor};
 pub use spill::{

@@ -41,6 +41,9 @@ pub struct PostingCursor<'a> {
     /// Decoded docid window covering `[win_start, win_start + window.len())`.
     window: Vec<u32>,
     win_start: usize,
+    /// The block the cursor currently holds (pins): charged once on entry,
+    /// not on every window refill within it.
+    pinned_block: Option<usize>,
 }
 
 impl<'a> PostingCursor<'a> {
@@ -54,6 +57,7 @@ impl<'a> PostingCursor<'a> {
             range,
             window: Vec::new(),
             win_start: usize::MAX,
+            pinned_block: None,
         }
     }
 
@@ -90,9 +94,13 @@ impl<'a> PostingCursor<'a> {
             let aligned = pos - pos % ENTRY_POINT_STRIDE;
             let column = self.index.td().column("docid")?;
             // Touch the owning block so buffer-manager accounting matches
-            // what a real read would charge.
+            // what a real read would charge — once per block entry; while
+            // the cursor walks windows of one block it pins it.
             let block_idx = aligned / column.block_size();
-            self.buffers.touch(column, block_idx);
+            if self.pinned_block != Some(block_idx) {
+                self.buffers.touch(column, block_idx);
+                self.pinned_block = Some(block_idx);
+            }
             let len = ENTRY_POINT_STRIDE.min(column.len() - aligned);
             column.read_range(aligned, len, &mut self.window)?;
             self.win_start = aligned;

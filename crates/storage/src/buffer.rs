@@ -11,13 +11,36 @@
 //! (nothing resident; every first touch pays I/O — Table 2's "cold data"
 //! column) and [`BufferMode::Hot`] (blocks stay resident once touched and
 //! the budget is unbounded — "hot data").
+//!
+//! # Concurrency
+//!
+//! One buffer manager is shared by every concurrent query on a node, so the
+//! residency map is **lock-striped**: a block's `(column id, block index)`
+//! key hashes to one of [`NUM_STRIPES`] independently locked shards, and the
+//! hot path (a residency hit, or a miss admitted under budget) takes exactly
+//! one stripe lock. I/O statistics are plain atomic counters, never behind a
+//! lock. Only the *eviction sweep* — entered when an admission pushes the
+//! pool over budget, i.e. never in `Hot` mode — takes the stripes' locks
+//! together (always in stripe order, so sweeps cannot deadlock) to pick the
+//! globally least-recently-used victim. Single-threaded behaviour is
+//! bit-identical to the historical single-`Mutex` pool: same LRU victim
+//! order, same admission accounting, same `warm`/`evict_all` semantics.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::column::{Column, ColumnId};
 use crate::disk::{DiskModel, IoStats};
+
+/// Number of lock stripes in the residency map. A small power of two:
+/// enough that concurrent queries touching different blocks almost never
+/// contend, few enough that the (rare, over-budget-only) full-pool eviction
+/// sweep stays cheap.
+pub const NUM_STRIPES: usize = 16;
 
 /// Experimental buffer conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,24 +55,51 @@ pub enum BufferMode {
     Hot,
 }
 
-#[derive(Debug)]
-struct PoolState {
+/// One shard of the residency map. A block lives in exactly one stripe,
+/// chosen by hashing its key, so per-stripe byte counts partition the pool
+/// total.
+#[derive(Debug, Default)]
+struct Stripe {
     /// Resident blocks: (column, block index) -> (bytes, last-use tick).
     resident: HashMap<(ColumnId, u32), (usize, u64)>,
-    resident_bytes: usize,
-    tick: u64,
-    stats: IoStats,
+    bytes: usize,
 }
 
 /// ColumnBM: decides residency, charges simulated I/O, accumulates stats.
 ///
-/// Thread-safe: the distributed simulator shares one buffer manager per node
-/// across query streams.
+/// Thread-safe and designed for sharing (`Arc<BufferManager>`): concurrent
+/// queries on different blocks proceed on different stripe locks, and the
+/// statistics counters are lock-free.
 #[derive(Debug)]
 pub struct BufferManager {
     disk: DiskModel,
     capacity_bytes: usize,
-    state: Mutex<PoolState>,
+    /// When set, every miss *sleeps* its simulated disk cost (after all
+    /// locks are released), turning the cost model into real per-thread
+    /// occupancy. Each miss is slept exactly once, by the thread that
+    /// incurred it — which is what makes concurrent-serving latency and
+    /// throughput measurements attribute I/O correctly.
+    simulate_latency: bool,
+    stripes: Vec<Mutex<Stripe>>,
+    /// Global LRU clock; every touch draws the next tick.
+    tick: AtomicU64,
+    /// Total bytes resident across all stripes. Updated while holding the
+    /// owning stripe's lock, so a thread holding *all* stripe locks (the
+    /// eviction sweep, `evict_all`) sees it exactly equal to the stripes'
+    /// sum.
+    resident_bytes: AtomicUsize,
+    // I/O statistics, one atomic per field (sim time in nanoseconds).
+    stat_reads: AtomicU64,
+    stat_bytes: AtomicU64,
+    stat_sim_nanos: AtomicU64,
+}
+
+/// Stripe index for a block key: an avalanching multiply over the key's
+/// standard hash, folded to the stripe count.
+fn stripe_of(key: &(ColumnId, u32)) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % NUM_STRIPES
 }
 
 impl BufferManager {
@@ -58,12 +108,15 @@ impl BufferManager {
         BufferManager {
             disk,
             capacity_bytes,
-            state: Mutex::new(PoolState {
-                resident: HashMap::new(),
-                resident_bytes: 0,
-                tick: 0,
-                stats: IoStats::default(),
-            }),
+            simulate_latency: false,
+            stripes: (0..NUM_STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
+            tick: AtomicU64::new(0),
+            resident_bytes: AtomicUsize::new(0),
+            stat_reads: AtomicU64::new(0),
+            stat_bytes: AtomicU64::new(0),
+            stat_sim_nanos: AtomicU64::new(0),
         }
     }
 
@@ -74,6 +127,18 @@ impl BufferManager {
             BufferMode::Cold => Self::new(disk, capacity_bytes),
             BufferMode::Hot => Self::new(disk, usize::MAX),
         }
+    }
+
+    /// Builder-style switch: every miss additionally *sleeps* its
+    /// simulated disk cost, converting the deterministic [`DiskModel`]
+    /// accounting into real occupancy of the touching thread. The load
+    /// harness uses this so concurrent workers overlap I/O waits the way a
+    /// real server overlaps outstanding disk requests — each miss slept
+    /// exactly once, by the query that triggered it.
+    #[must_use]
+    pub fn with_simulated_miss_latency(mut self) -> Self {
+        self.simulate_latency = true;
+        self
     }
 
     /// The disk model in use.
@@ -87,31 +152,70 @@ impl BufferManager {
     pub fn touch(&self, column: &Column, block_idx: usize) {
         let key = (column.id(), block_idx as u32);
         let bytes = column.block(block_idx).compressed_bytes();
-        let mut st = self.state.lock();
-        st.tick += 1;
-        let tick = st.tick;
-        if let Some(entry) = st.resident.get_mut(&key) {
-            entry.1 = tick;
-            return;
-        }
-        // Miss: pay the disk.
-        let cost = self.disk.read_cost(bytes);
-        st.stats.record(bytes, cost);
-        // Admit, evicting least-recently-used blocks if over budget.
-        st.resident.insert(key, (bytes, tick));
-        st.resident_bytes += bytes;
-        while st.resident_bytes > self.capacity_bytes && st.resident.len() > 1 {
-            let (&victim, &(vbytes, _)) = st
-                .resident
-                .iter()
-                .min_by_key(|(_, &(_, t))| t)
-                .expect("non-empty pool");
-            // Never evict the block we just admitted.
-            if victim == key {
-                break;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let cost = {
+            let mut st = self.stripes[stripe_of(&key)].lock();
+            if let Some(entry) = st.resident.get_mut(&key) {
+                entry.1 = tick;
+                return;
             }
-            st.resident.remove(&victim);
-            st.resident_bytes -= vbytes;
+            // Miss: pay the disk.
+            let cost = self.disk.read_cost(bytes);
+            self.stat_reads.fetch_add(1, Ordering::Relaxed);
+            self.stat_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            self.stat_sim_nanos
+                .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+            // Admit; the over-budget check happens after the stripe lock is
+            // released, because evicting may involve *other* stripes.
+            st.resident.insert(key, (bytes, tick));
+            st.bytes += bytes;
+            self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+            cost
+        };
+        if self.resident_bytes.load(Ordering::Relaxed) > self.capacity_bytes {
+            self.evict_lru_sweep(key);
+        }
+        // Sleep last, with no locks held: the thread pays its own I/O wait
+        // without blocking other queries' pool access.
+        if self.simulate_latency && !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+    }
+
+    /// Evicts least-recently-used blocks until the pool is back under
+    /// budget, never evicting `protect` (the block just admitted). Takes
+    /// every stripe lock in index order — the only multi-stripe locking in
+    /// the manager, so lock acquisition is totally ordered and cannot
+    /// deadlock.
+    fn evict_lru_sweep(&self, protect: (ColumnId, u32)) {
+        let mut stripes: Vec<MutexGuard<'_, Stripe>> =
+            self.stripes.iter().map(|s| s.lock()).collect();
+        loop {
+            // With all stripe locks held the atomic total is exact.
+            let total = self.resident_bytes.load(Ordering::Relaxed);
+            if total <= self.capacity_bytes {
+                return;
+            }
+            // Oldest block, never the one we just admitted. Under
+            // concurrency `protect` may well be the globally oldest (other
+            // threads drew newer ticks while this miss was in flight), so
+            // it is skipped rather than treated as a stop condition; when
+            // nothing but `protect` is left, an over-sized block simply
+            // stays resident, exactly like the historical single-block
+            // pool behaviour.
+            let Some((si, victim, vbytes)) = stripes
+                .iter()
+                .enumerate()
+                .flat_map(|(si, s)| s.resident.iter().map(move |(&k, &(b, t))| (t, si, k, b)))
+                .filter(|&(_, _, k, _)| k != protect)
+                .min_by_key(|&(t, ..)| t)
+                .map(|(_, si, k, b)| (si, k, b))
+            else {
+                return;
+            };
+            stripes[si].resident.remove(&victim);
+            stripes[si].bytes -= vbytes;
+            self.resident_bytes.fetch_sub(vbytes, Ordering::Relaxed);
         }
     }
 
@@ -126,43 +230,81 @@ impl BufferManager {
     /// Drops all residency (the start of a cold run) without resetting
     /// accumulated statistics.
     pub fn evict_all(&self) {
-        let mut st = self.state.lock();
-        st.resident.clear();
-        st.resident_bytes = 0;
+        let mut stripes: Vec<MutexGuard<'_, Stripe>> =
+            self.stripes.iter().map(|s| s.lock()).collect();
+        for st in &mut stripes {
+            st.resident.clear();
+            st.bytes = 0;
+        }
+        self.resident_bytes.store(0, Ordering::Relaxed);
     }
 
     /// Accumulated I/O statistics.
+    ///
+    /// Lock-free; under concurrent traffic the three fields are read
+    /// independently, so a snapshot may straddle an in-flight miss (e.g.
+    /// its read counted but its bytes not yet). Quiescent reads are exact.
     pub fn stats(&self) -> IoStats {
-        self.state.lock().stats
+        IoStats {
+            reads: self.stat_reads.load(Ordering::Relaxed),
+            bytes: self.stat_bytes.load(Ordering::Relaxed),
+            sim_time: Duration::from_nanos(self.stat_sim_nanos.load(Ordering::Relaxed)),
+        }
     }
 
-    /// Resets accumulated statistics (between experimental runs).
+    /// Resets accumulated statistics (between experimental runs). Safe to
+    /// call while queries are in flight: counters restart from zero, and
+    /// readers computing deltas against a pre-reset snapshot must saturate
+    /// ([`IoStats::delta_since`]) rather than underflow.
     pub fn reset_stats(&self) {
-        self.state.lock().stats = IoStats::default();
+        self.stat_reads.store(0, Ordering::Relaxed);
+        self.stat_bytes.store(0, Ordering::Relaxed);
+        self.stat_sim_nanos.store(0, Ordering::Relaxed);
     }
 
     /// Number of currently resident blocks.
     pub fn resident_blocks(&self) -> usize {
-        self.state.lock().resident.len()
+        self.stripes.iter().map(|s| s.lock().resident.len()).sum()
     }
 
     /// Bytes currently resident.
     pub fn resident_bytes(&self) -> usize {
-        self.state.lock().resident_bytes
+        self.resident_bytes.load(Ordering::Relaxed)
     }
 
     /// Whether a specific block is resident (test hook).
     pub fn is_resident(&self, column: &Column, block_idx: usize) -> bool {
-        self.state
+        let key = (column.id(), block_idx as u32);
+        self.stripes[stripe_of(&key)]
             .lock()
             .resident
-            .contains_key(&(column.id(), block_idx as u32))
+            .contains_key(&key)
+    }
+
+    /// Internal-consistency check (test hook): the lock-free byte total
+    /// must equal the sum of per-stripe byte counts, and each stripe's
+    /// count must equal the sum of its resident blocks' sizes. Exact at
+    /// quiescence; takes every stripe lock.
+    pub fn assert_consistent(&self) {
+        let stripes: Vec<MutexGuard<'_, Stripe>> = self.stripes.iter().map(|s| s.lock()).collect();
+        let mut total = 0usize;
+        for (i, st) in stripes.iter().enumerate() {
+            let sum: usize = st.resident.values().map(|&(b, _)| b).sum();
+            assert_eq!(st.bytes, sum, "stripe {i} byte count drifted");
+            total += st.bytes;
+        }
+        assert_eq!(
+            self.resident_bytes.load(Ordering::Relaxed),
+            total,
+            "pool byte total drifted from stripe sum"
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use x100_compress::Codec;
 
     fn column(n: usize, block: usize) -> Column {
@@ -260,5 +402,135 @@ mod tests {
         assert_eq!(bm.stats(), IoStats::default());
         // Residency survives a stats reset.
         assert!(bm.is_resident(&col, 0));
+    }
+
+    #[test]
+    fn single_threaded_behaviour_consistent_across_many_columns() {
+        // Blocks from several columns land in different stripes; the
+        // observable accounting must still be the single-pool one.
+        let cols: Vec<Column> = (0..8).map(|_| column(2048, 256)).collect();
+        let bm = BufferManager::with_mode(DiskModel::raid12(), BufferMode::Hot, 0);
+        for c in &cols {
+            bm.warm(c);
+        }
+        let blocks: usize = cols.iter().map(Column::block_count).sum();
+        assert_eq!(bm.resident_blocks(), blocks);
+        assert_eq!(bm.stats().reads as usize, blocks);
+        bm.assert_consistent();
+        // Re-warms are all hits.
+        for c in &cols {
+            bm.warm(c);
+        }
+        assert_eq!(bm.stats().reads as usize, blocks);
+    }
+
+    /// Satellite stress test (loom-free): many threads hammer `touch`,
+    /// `warm`, `evict_all` and `stats` on one pool under real capacity
+    /// pressure. At quiescence the byte accounting must be internally
+    /// consistent and back under the budget, and nothing may panic.
+    #[test]
+    fn concurrent_stress_under_capacity_pressure() {
+        let cols: Vec<Column> = (0..6).map(|_| column(4096, 256)).collect();
+        let one_block = cols[0].block(0).compressed_bytes();
+        // Room for ~5 blocks while 6 columns × 16 blocks fight for it.
+        let bm = Arc::new(BufferManager::new(DiskModel::raid12(), one_block * 5 + 8));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let bm = &bm;
+                let cols = &cols;
+                s.spawn(move || {
+                    for round in 0..60 {
+                        let c = &cols[(t + round) % cols.len()];
+                        for b in 0..c.block_count() {
+                            bm.touch(c, (b + t) % c.block_count());
+                        }
+                        if round % 13 == 5 && t == 0 {
+                            bm.evict_all();
+                        }
+                        if round % 7 == 0 {
+                            // Reading stats mid-flight must never panic.
+                            let st = bm.stats();
+                            assert!(st.bytes >= st.reads, "blocks are >1 byte");
+                        }
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..40 {
+                    let _ = bm.resident_blocks();
+                    let _ = bm.resident_bytes();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        bm.assert_consistent();
+        assert!(
+            bm.resident_bytes() <= one_block * 5 + 8,
+            "pool settled over budget: {} > {}",
+            bm.resident_bytes(),
+            one_block * 5 + 8
+        );
+        assert!(bm.resident_blocks() >= 1);
+    }
+
+    #[test]
+    fn simulated_miss_latency_occupies_the_touching_thread() {
+        let col = column(1024, 256); // 4 blocks
+        let disk = DiskModel {
+            seek: std::time::Duration::from_millis(5),
+            bandwidth_bytes_per_sec: f64::INFINITY,
+        };
+        let bm = BufferManager::new(disk, usize::MAX).with_simulated_miss_latency();
+        let start = std::time::Instant::now();
+        bm.warm(&col); // 4 misses à 5 ms
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= std::time::Duration::from_millis(20),
+            "4 misses slept only {elapsed:?}"
+        );
+        // Hits are free: no sleeping on the re-warm.
+        let start = std::time::Instant::now();
+        bm.warm(&col);
+        assert!(start.elapsed() < std::time::Duration::from_millis(5));
+    }
+
+    /// Satellite regression: `reset_stats` racing in-flight misses must
+    /// never underflow or panic — counters only ever move forward from the
+    /// reset point, and delta readers saturate.
+    #[test]
+    fn concurrent_reset_stats_never_underflows() {
+        let col = column(4096, 256);
+        let bm = Arc::new(BufferManager::with_mode(
+            DiskModel::raid12(),
+            BufferMode::Hot,
+            0,
+        ));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let bm = &bm;
+                let col = &col;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let before = bm.stats();
+                        bm.evict_all();
+                        bm.warm(col);
+                        // Saturating delta: fine even if another thread
+                        // reset the counters between the two snapshots.
+                        let delta = bm.stats().delta_since(&before);
+                        assert!(delta.reads <= 16 * 50 * 3);
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..200 {
+                    bm.reset_stats();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let final_stats = bm.stats();
+        // Sanity: counters are small and coherent, not wrapped-around huge.
+        assert!(final_stats.reads < 1_000_000);
+        assert!(final_stats.bytes < u64::MAX / 2);
     }
 }

@@ -105,6 +105,20 @@ impl IoStats {
         self.bytes += other.bytes;
         self.sim_time += other.sim_time;
     }
+
+    /// The change from a `before` snapshot to this one, saturating at zero
+    /// per field. Saturation matters under concurrency: if the shared
+    /// counters were reset between the two snapshots (`reset_stats` racing
+    /// an in-flight query), a plain subtraction would underflow; the delta
+    /// is then meaningless but must stay a harmless zero, never a panic or
+    /// a wrapped-around huge value.
+    pub fn delta_since(&self, before: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads.saturating_sub(before.reads),
+            bytes: self.bytes.saturating_sub(before.bytes),
+            sim_time: self.sim_time.saturating_sub(before.sim_time),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +162,22 @@ mod tests {
         let raw = disk.read_cost(4_000_000);
         let compressed = disk.read_cost(1_000_000);
         assert_eq!(raw, compressed * 4);
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_saturates() {
+        let mut before = IoStats::default();
+        before.record(100, Duration::from_millis(1));
+        let mut after = before;
+        after.record(50, Duration::from_millis(2));
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.reads, 1);
+        assert_eq!(delta.bytes, 50);
+        assert_eq!(delta.sim_time, Duration::from_millis(2));
+        // A reset between snapshots leaves `after` below `before`: the
+        // delta saturates to zero instead of underflowing.
+        let reset_delta = IoStats::default().delta_since(&before);
+        assert_eq!(reset_delta, IoStats::default());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod runfile;
 pub mod scan;
 pub mod table;
 
-pub use buffer::{BufferManager, BufferMode};
+pub use buffer::{BufferManager, BufferMode, NUM_STRIPES};
 pub use column::{Column, ColumnBuilder, ColumnId, StringColumn, StringColumnBuilder};
 pub use disk::{DiskModel, IoStats};
 pub use runfile::{MemRun, RunFileError, RunFileReader, RunFileWriter, RunMeta, RunSource};

@@ -30,6 +30,11 @@ pub struct ColumnScan<'a> {
     /// served on the next call rather than re-decoded.
     staging: Vec<u32>,
     stage_start: usize,
+    /// The block the scan currently holds (pins): charged to the buffer
+    /// manager when first entered, not on every refill within it. A scan
+    /// that has a block's data staged does not re-read it from disk even
+    /// if concurrent queries evict it from the pool in the meantime.
+    pinned_block: Option<usize>,
 }
 
 impl<'a> ColumnScan<'a> {
@@ -43,6 +48,7 @@ impl<'a> ColumnScan<'a> {
             pos: 0,
             staging: Vec::new(),
             stage_start: 0,
+            pinned_block: None,
         }
     }
 
@@ -116,7 +122,14 @@ impl<'a> ColumnScan<'a> {
             .next_multiple_of(ENTRY_POINT_STRIDE)
             .min(block_end);
         let len = want_end - aligned;
-        self.buffers.touch(self.column, block_idx);
+        // Charge the buffer manager once per block *entry*, not per refill:
+        // while the scan stays inside one block it is reading data it
+        // already fetched (a real scan pins its block), so only crossing
+        // into a different block is a fresh read.
+        if self.pinned_block != Some(block_idx) {
+            self.buffers.touch(self.column, block_idx);
+            self.pinned_block = Some(block_idx);
+        }
         self.column.read_range(aligned, len, &mut self.staging)?;
         self.stage_start = aligned;
         Ok(())
