@@ -24,19 +24,29 @@
 //! accumulator peak, finish peak, combined peak, run counts, spill I/O and
 //! the OS-reported peak RSS to `BENCH_scale_spill.json`.
 //!
+//! With `--persist <path>` the finished indexes are additionally written
+//! to disk — the full index as a single segment file at `<path>`, plus one
+//! partition segment per node at `<path>.p<i>` — then **reopened cold**
+//! and the query stages served from the reopened artifacts, with a
+//! bit-identity spot check against the in-memory results before the swap.
+//! A segment written here reopens in any later process via
+//! `serve_bench --segment <path>`.
+//!
 //! Usage: `scale_pipeline [--scale tiny|small|medium|large] [--mem-budget SIZE]
-//! [--partitions N] [--queries N]`
+//! [--partitions N] [--queries N] [--persist path]`
 //! (defaults: small, unbounded, 8 partitions, 200 measured queries)
 
 use std::time::Instant;
 
 use x100_bench::{
-    fmt_ms, peak_rss_bytes, take_mem_budget_flag_or_exit, take_scale_flag_or_exit,
+    fmt_ms, peak_rss_bytes, take_flag_value, take_mem_budget_flag_or_exit, take_scale_flag_or_exit,
     take_usize_flag_or_exit, write_trajectory, Json, TablePrinter,
 };
 use x100_corpus::{precision_at_k, CollectionStream, Scale};
 use x100_distributed::SimulatedCluster;
-use x100_ir::{IndexConfig, QueryEngine, SearchStrategy, SpillConfig, SpillingIndexBuilder};
+use x100_ir::{
+    IndexConfig, InvertedIndex, QueryEngine, SearchStrategy, SpillConfig, SpillingIndexBuilder,
+};
 
 const TOP_N: usize = 20;
 const STRATEGY: SearchStrategy = SearchStrategy::Bm25TwoPass;
@@ -47,6 +57,7 @@ fn main() {
     let mem_budget = take_mem_budget_flag_or_exit(&mut args);
     let partitions = take_usize_flag_or_exit(&mut args, "--partitions", 8);
     let num_queries = take_usize_flag_or_exit(&mut args, "--queries", 200);
+    let persist_path = take_flag_value(&mut args, "--persist");
     if partitions == 0 {
         eprintln!("error: --partitions must be at least 1");
         std::process::exit(2);
@@ -142,6 +153,75 @@ fn main() {
     }
     let cluster = SimulatedCluster::from_partition_indexes(parts);
     let finish_s = t1.elapsed().as_secs_f64();
+
+    // Stage 1b — optional persistence: write the full index and one
+    // segment per partition, reopen everything cold (posting blocks now
+    // `pread` through the buffer pool on demand), spot-check bit-identity
+    // against the in-memory build, then serve the remaining stages from
+    // the reopened artifacts.
+    let mut persist_json = Json::Null;
+    let mut persist_row = None;
+    let (index, cluster) = match &persist_path {
+        Some(path) => {
+            let tw = Instant::now();
+            let full_bytes = index
+                .write_segment(path)
+                .unwrap_or_else(|e| panic!("write segment {path}: {e}"));
+            let part_paths = cluster
+                .persist_segments(path)
+                .unwrap_or_else(|e| panic!("write partition segments at {path}: {e}"));
+            let part_bytes: u64 = part_paths
+                .iter()
+                .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+                .sum();
+            let write_s = tw.elapsed().as_secs_f64();
+            let to = Instant::now();
+            let reopened = InvertedIndex::open_segment(path)
+                .unwrap_or_else(|e| panic!("reopen segment {path}: {e}"));
+            let reopened_cluster = SimulatedCluster::open_segments(&part_paths)
+                .unwrap_or_else(|e| panic!("reopen partition segments: {e}"));
+            let open_s = to.elapsed().as_secs_f64();
+            // Reopened artifacts must serve the exact results of the
+            // in-memory build before they are allowed to replace it.
+            let mem_engine = QueryEngine::new(&index);
+            let seg_engine = QueryEngine::new(&reopened);
+            for q in tail.efficiency_log.iter().take(10) {
+                let mem = mem_engine.search(q, STRATEGY, TOP_N).expect("search");
+                let seg = seg_engine.search(q, STRATEGY, TOP_N).expect("search");
+                assert_eq!(
+                    seg.results, mem.results,
+                    "reopened segment diverged from in-memory index"
+                );
+                assert_eq!(
+                    reopened_cluster.search(q, STRATEGY, TOP_N),
+                    cluster.search(q, STRATEGY, TOP_N),
+                    "reopened cluster diverged from in-memory cluster"
+                );
+            }
+            eprintln!(
+                "persisted {path} ({:.1} MiB full + {:.1} MiB across {} partitions) \
+                 in {write_s:.2}s, reopened cold in {open_s:.2}s (bit-identical)",
+                full_bytes as f64 / (1 << 20) as f64,
+                part_bytes as f64 / (1 << 20) as f64,
+                part_paths.len(),
+            );
+            persist_json = Json::obj(vec![
+                ("path", Json::str(path)),
+                ("full_segment_bytes", Json::Num(full_bytes as f64)),
+                ("partition_segments", Json::Num(part_paths.len() as f64)),
+                ("partition_segment_bytes", Json::Num(part_bytes as f64)),
+                ("write_s", Json::Num(write_s)),
+                ("open_s", Json::Num(open_s)),
+                ("reopened_bit_identical", Json::Bool(true)),
+            ]);
+            persist_row = Some(format!(
+                "{:.1} MiB written in {write_s:.2}s, reopened in {open_s:.2}s",
+                (full_bytes + part_bytes) as f64 / (1 << 20) as f64
+            ));
+            (reopened, reopened_cluster)
+        }
+        None => (index, cluster),
+    };
 
     // Spill accounting — and the in-process budget guarantee, covering the
     // accumulator phase *and* the streaming columnar finish phase.
@@ -284,6 +364,9 @@ fn main() {
         "single-vs-merged overlap".into(),
         format!("{overlap_pct:.0}%"),
     ]);
+    if let Some(row) = persist_row {
+        t.push_row(vec!["persist + cold reopen".into(), row]);
+    }
     println!("\nScale pipeline — {scale}:");
     print!("{}", t.render());
 
@@ -318,6 +401,7 @@ fn main() {
         ("p_at_20", Json::Num(p20)),
         ("merge_avg_ms", Json::Num(merge_avg_ms)),
         ("overlap_pct", Json::Num(overlap_pct)),
+        ("persist", persist_json),
     ]);
     // Budgeted runs record to their own file: spill I/O inflates the build
     // timings, so overwriting the unbudgeted baseline would make successive

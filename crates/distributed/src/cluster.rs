@@ -8,6 +8,7 @@
 //! actual single-node engine; only the *network* between nodes is modeled
 //! (see [`crate::schedule`]).
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,8 +16,8 @@ use std::time::Instant;
 
 use x100_corpus::{CollectionStream, CollectionTail, SyntheticCollection};
 use x100_ir::{
-    IndexConfig, InvertedIndex, QueryEngine, SearchStrategy, SpillConfig, SpillError, SpillStats,
-    SpillingIndexBuilder, StreamingIndexBuilder,
+    IndexConfig, InvertedIndex, QueryEngine, SearchStrategy, SegmentError, SpillConfig, SpillError,
+    SpillStats, SpillingIndexBuilder, StreamingIndexBuilder,
 };
 use x100_storage::{BufferManager, BufferMode, DiskModel, IoStats};
 
@@ -275,6 +276,39 @@ impl SimulatedCluster {
                 .map(|(builder, global_ids)| (builder.finish(vocab), global_ids))
                 .collect(),
         )
+    }
+
+    /// Writes one partition segment per node next to `base`: node `i` goes
+    /// to `<base>.p<i>`, each carrying its local→global docid map. Returns
+    /// the paths in node order — feed them back to [`Self::open_segments`]
+    /// (typically in a fresh process) to reassemble this exact cluster.
+    pub fn persist_segments(&self, base: impl AsRef<Path>) -> Result<Vec<PathBuf>, SegmentError> {
+        let base = base.as_ref();
+        let mut paths = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut path = base.as_os_str().to_owned();
+            path.push(format!(".p{i}"));
+            let path = PathBuf::from(path);
+            node.index
+                .write_partition_segment(&node.global_ids, &path)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// Reassembles a cluster from partition segments written by
+    /// [`Self::persist_segments`], one node per path. Every segment is
+    /// fully verified at open; posting blocks stay on disk and are `pread`
+    /// through each node's buffer pool on first touch, so a freshly opened
+    /// cluster serves cold and warms as queries run. Search results are
+    /// bit-identical to the cluster that wrote the segments.
+    pub fn open_segments(paths: &[PathBuf]) -> Result<Self, SegmentError> {
+        assert!(!paths.is_empty(), "at least one partition required");
+        let mut parts = Vec::with_capacity(paths.len());
+        for path in paths {
+            parts.push(InvertedIndex::open_partition_segment(path)?);
+        }
+        Ok(Self::from_partition_indexes(parts))
     }
 
     /// Number of nodes.
@@ -645,6 +679,27 @@ mod tests {
         let resp = cluster.search_scatter(&[], SearchStrategy::Bm25, 10);
         assert!(resp.results.is_empty());
         assert_eq!(resp.node_timings.len(), 2);
+    }
+
+    #[test]
+    fn reopened_segment_cluster_is_bit_identical() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let cluster = SimulatedCluster::build(&c, 3, &IndexConfig::materialized_q8());
+        let mut base = std::env::temp_dir();
+        base.push(format!("x100-cluster-segments-{}", std::process::id()));
+        let paths = cluster.persist_segments(&base).unwrap();
+        assert_eq!(paths.len(), 3);
+        let reopened = SimulatedCluster::open_segments(&paths).unwrap();
+        assert_eq!(reopened.num_nodes(), cluster.num_nodes());
+        for q in c.eval_queries.iter().take(5) {
+            assert_eq!(
+                reopened.search(&q.terms, SearchStrategy::Bm25Materialized, 20),
+                cluster.search(&q.terms, SearchStrategy::Bm25Materialized, 20)
+            );
+        }
+        for p in paths {
+            std::fs::remove_file(p).unwrap();
+        }
     }
 
     #[test]

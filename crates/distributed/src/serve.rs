@@ -99,6 +99,30 @@ impl<T> AdmissionQueue<T> {
         }
     }
 
+    /// Like [`Self::push`], but constructs the item *at admission time*:
+    /// `make` runs under the queue lock, immediately before the item
+    /// becomes visible to workers, after any backpressure wait has already
+    /// passed. Closed-loop submitters use this to stamp timestamps at
+    /// admission — stamping before a blocking `push` would count the
+    /// submitter's own backpressure wait as query latency. Returns `false`
+    /// if the queue closed before space appeared (`make` is not called).
+    pub fn push_with(&self, make: impl FnOnce() -> T) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.items.len() < self.capacity {
+                let item = make();
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return true;
+            }
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
     /// Dequeues the oldest item, blocking while the queue is empty and not
     /// closed. Returns `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
@@ -418,11 +442,15 @@ impl ServeConfig {
 struct QueryJob {
     id: usize,
     terms: Vec<u32>,
-    /// When the query was *supposed* to arrive (open-loop schedule); equals
-    /// `submitted` in closed-loop runs.
+    /// Where this query's latency clock starts. Open loop: when it was
+    /// *supposed* to arrive per the schedule, stamped before the
+    /// (possibly blocking) push so saturation delay is counted. Closed
+    /// loop: the moment the bounded queue admitted it — a closed-loop
+    /// query does not exist before admission, so the submitter's own
+    /// backpressure wait must not count as query latency.
     scheduled: Instant,
-    /// When its submission *attempt* began; admission may come later if
-    /// the bounded queue was full.
+    /// When the queue admitted it (closed loop) or its submission attempt
+    /// began (open loop; admission may come later under backpressure).
     submitted: Instant,
 }
 
@@ -435,10 +463,13 @@ pub struct QueryOutcome {
     pub worker: usize,
     /// `(docid, score)` hits, best first.
     pub hits: Vec<(u32, f32)>,
-    /// Time spent in the admission system: from the submission attempt to
-    /// dequeue by a worker — deliberately *including* any backpressure
-    /// blocking before the bounded queue admitted the job, so saturation
-    /// shows up here rather than vanishing.
+    /// Time spent in the admission system, ending at dequeue by a worker.
+    /// Open loop: starts at the submission attempt, deliberately
+    /// *including* any backpressure blocking before the bounded queue
+    /// admitted the job, so saturation shows up here rather than
+    /// vanishing. Closed loop: starts at admission — the submitter's
+    /// backpressure wait is its own pacing, not time the query spent
+    /// in the system.
     pub queue_wait: Duration,
     /// Time from dequeue to completion (includes simulated-I/O sleeps when
     /// the service's pool enacts miss latency).
@@ -479,8 +510,10 @@ pub struct ServeReport {
 
 /// Closed-loop load: the submitter keeps the bounded queue primed and the
 /// workers never starve — measures the configuration's *capacity* (max
-/// sustainable QPS). Latency under closed loop includes only queue wait
-/// within the bounded depth, not open-loop queueing delay.
+/// sustainable QPS). A closed-loop query's latency clock starts when the
+/// bounded queue *admits* it, so it includes only queue wait within the
+/// bounded depth plus service time — never the submitter's own
+/// backpressure blocking, which is pacing, not latency.
 pub fn run_closed_loop<S: QueryService + Clone>(
     service: &S,
     config: &ServeConfig,
@@ -561,23 +594,39 @@ fn run<S: QueryService + Clone>(
 
         // Load generation on the calling thread.
         for (id, terms) in queries.iter().enumerate() {
-            let scheduled = match arrival_rate {
+            let admitted = match arrival_rate {
                 Some(rate) => {
+                    // Open loop: the latency clock starts at the scheduled
+                    // arrival, stamped *before* the blocking push — if the
+                    // system cannot absorb the offered rate, the admission
+                    // delay is real latency and must be measured.
                     let target = start + Duration::from_secs_f64(id as f64 / rate);
                     if let Some(wait) = target.checked_duration_since(Instant::now()) {
                         std::thread::sleep(wait);
                     }
-                    target
+                    queue
+                        .push(QueryJob {
+                            id,
+                            terms: terms.clone(),
+                            scheduled: target,
+                            submitted: Instant::now(),
+                        })
+                        .is_ok()
                 }
-                None => Instant::now(),
+                // Closed loop: the query exists only once the bounded
+                // queue admits it, so both clocks start at admission —
+                // inside `push_with`, after any backpressure wait.
+                None => queue.push_with(|| {
+                    let now = Instant::now();
+                    QueryJob {
+                        id,
+                        terms: terms.clone(),
+                        scheduled: now,
+                        submitted: now,
+                    }
+                }),
             };
-            let job = QueryJob {
-                id,
-                terms: terms.clone(),
-                scheduled,
-                submitted: Instant::now(),
-            };
-            if queue.push(job).is_err() {
+            if !admitted {
                 // Only workers close the queue mid-run, and only by
                 // unwinding; stop submitting and let the scope propagate
                 // their panic.
@@ -869,6 +918,60 @@ mod tests {
         // full queue with no consumers.
         let queries: Vec<Vec<u32>> = (0..64u32).map(|i| vec![i]).collect();
         let _ = run_closed_loop(&PanicService, &ServeConfig::new(2), &queries);
+    }
+
+    #[test]
+    fn closed_loop_latency_excludes_submitter_backpressure() {
+        // Depth-1 queue, one worker, 40 ms service: the submitter spends a
+        // full service time blocked in `push` for every query past the
+        // second. A closed-loop query's life is at most one service ahead
+        // of it in the queue plus its own (~2 services); stamping the
+        // latency clock before the blocking push — the old bug — adds the
+        // submitter's wait on top (~3 services). Same shape for
+        // queue_wait: in-queue time is ~1 service, the buggy
+        // submission-attempt clock made it ~2.
+        let service = SleepService {
+            sleep: Duration::from_millis(40),
+            executed: Arc::new(AtomicUsize::new(0)),
+        };
+        let queries: Vec<Vec<u32>> = (0..8u32).map(|i| vec![i]).collect();
+        let mut cfg = ServeConfig::new(1);
+        cfg.queue_depth = 1;
+        let report = run_closed_loop(&service, &cfg, &queries);
+        assert_eq!(report.completed, queries.len());
+        let max_latency = report.latency.max();
+        assert!(
+            max_latency < Duration::from_millis(100),
+            "closed-loop latency absorbed submitter backpressure: max {max_latency:?}"
+        );
+        let max_wait = report.queue_wait.max();
+        assert!(
+            max_wait < Duration::from_millis(70),
+            "closed-loop queue wait double-counted backpressure: max {max_wait:?}"
+        );
+    }
+
+    #[test]
+    fn open_loop_latency_includes_backpressure_under_overload() {
+        // The mirror-image pin: open-loop arrivals are scheduled near
+        //-instantly against the same depth-1 queue and 20 ms service, so
+        // queries stack up behind the schedule. Their latency clocks start
+        // at the *scheduled* arrival and must absorb the queueing delay:
+        // the last of 6 queries completes ~6 services after its arrival.
+        let service = SleepService {
+            sleep: Duration::from_millis(20),
+            executed: Arc::new(AtomicUsize::new(0)),
+        };
+        let queries: Vec<Vec<u32>> = (0..6u32).map(|i| vec![i]).collect();
+        let mut cfg = ServeConfig::new(1);
+        cfg.queue_depth = 1;
+        let report = run_open_loop(&service, &cfg, &queries, 10_000.0);
+        assert_eq!(report.completed, queries.len());
+        assert!(
+            report.latency.max() >= Duration::from_millis(80),
+            "open-loop latency lost its queueing delay: max {:?}",
+            report.latency.max()
+        );
     }
 
     #[test]

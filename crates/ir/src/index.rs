@@ -246,6 +246,62 @@ impl InvertedIndex {
         }
     }
 
+    /// Assembles an index from the decoded parts of a persisted segment
+    /// ([`crate::segment`]). No score re-materialization happens here — the
+    /// score column (when present) comes back from disk bit-identical —
+    /// and collection statistics are recomputed from the document lengths
+    /// with the same fold as [`Self::from_columns`], so a reopened index
+    /// serves every strategy bit-identically to the one that was written.
+    pub(crate) fn from_segment_parts(parts: crate::segment::SegmentParts) -> Self {
+        let crate::segment::SegmentParts {
+            config,
+            vocab,
+            doc_names,
+            doc_lens,
+            doc_freqs,
+            offsets,
+            docid,
+            tf,
+            score,
+            quantizer,
+        } = parts;
+        let num_docs = doc_lens.len();
+        let avg_doc_len = if num_docs == 0 {
+            1.0
+        } else {
+            doc_lens.iter().map(|&l| l as f64).sum::<f64>() as f32 / num_docs as f32
+        };
+        let stats = CollectionStats {
+            num_docs: num_docs as u32,
+            avg_doc_len,
+        };
+        let mut td = Table::new("TD");
+        td.add_column(docid);
+        td.add_column(tf);
+        if let Some(score) = score {
+            td.add_column(score);
+        }
+        let term_ranges = (0..vocab.len())
+            .map(|t| offsets[t]..offsets[t + 1])
+            .collect();
+        let term_dict = vocab
+            .into_iter()
+            .enumerate()
+            .map(|(t, s)| (s, t as u32))
+            .collect();
+        InvertedIndex {
+            config,
+            td,
+            term_ranges,
+            doc_names,
+            doc_lens: Arc::new(doc_lens),
+            doc_freqs,
+            term_dict,
+            stats,
+            quantizer,
+        }
+    }
+
     /// The build configuration.
     pub fn config(&self) -> &IndexConfig {
         &self.config
@@ -299,6 +355,21 @@ impl InvertedIndex {
     /// Number of postings (TD rows).
     pub fn num_postings(&self) -> usize {
         self.td.row_count()
+    }
+
+    /// Number of terms in the vocabulary.
+    pub fn num_terms(&self) -> usize {
+        self.term_ranges.len()
+    }
+
+    /// The vocabulary in term-id order (inverts the term dictionary; used
+    /// by the segment writer).
+    pub(crate) fn term_strings(&self) -> Vec<&str> {
+        let mut vocab = vec![""; self.term_dict.len()];
+        for (s, &t) in &self.term_dict {
+            vocab[t as usize] = s;
+        }
+        vocab
     }
 
     /// Bits per tuple of the named TD column — the §3.3 accounting.

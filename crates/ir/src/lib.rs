@@ -17,6 +17,9 @@
 //! * [`spill::SpillingIndexBuilder`] — index construction under an explicit
 //!   posting-memory budget: sorted on-disk runs + k-way merge, producing
 //!   bit-identical indexes to the in-memory builders.
+//! * [`segment`] — index persistence: the whole index written to one
+//!   checksummed segment file and reopened disk-backed, with posting blocks
+//!   `pread` on demand through the buffer pool.
 //!
 //! The Table 2 experiment in `x100-bench` drives these APIs end to end.
 //!
@@ -43,6 +46,7 @@ pub mod columns;
 pub mod engine;
 pub mod executor;
 pub mod index;
+pub mod segment;
 pub mod skipping;
 pub mod spill;
 
@@ -58,3 +62,4 @@ pub use spill::{
     build_index_streaming_spill, merge_run_sources, SpillConfig, SpillError, SpillStats,
     SpillingIndexBuilder,
 };
+pub use x100_storage::SegmentError;

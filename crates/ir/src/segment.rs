@@ -1,0 +1,506 @@
+//! Index persistence: writing an [`InvertedIndex`] to a single-file segment
+//! and opening it back for serving.
+//!
+//! The storage layer ([`x100_storage::segment`]) owns the file format —
+//! checksummed 64-byte-aligned sections, prefix-sum block directories,
+//! open-time verification of every byte. This module owns the *index-level*
+//! encoding on top of it: which sections exist, how the configuration,
+//! vocabulary, document table and posting offsets serialize, and the
+//! cross-section consistency checks (offsets vs. document frequencies vs.
+//! column lengths) that make a reopened index safe to serve.
+//!
+//! A reopened index is **bit-identical** to the one written: posting and
+//! score blocks come back byte-for-byte (and are decoded lazily through the
+//! buffer pool, a miss being a real `pread`), the quantizer is restored from
+//! its exact bits, and collection statistics are recomputed from the
+//! document lengths with the same fold the build path uses.
+
+use std::path::Path;
+
+use x100_compress::Codec;
+use x100_storage::{
+    Column, SectionKind, SegmentError, SegmentReader, SegmentWriter, StringColumn,
+    StringColumnBuilder,
+};
+
+use crate::bm25::Quantizer;
+use crate::columns::posting_codecs;
+use crate::index::{IndexConfig, InvertedIndex, Materialize};
+
+/// Fixed size of the serialized [`SectionKind::Meta`] payload.
+const META_LEN: usize = 56;
+
+/// Everything [`InvertedIndex::from_segment_parts`] needs to assemble a
+/// served index, decoded and cross-validated from an open segment.
+pub(crate) struct SegmentParts {
+    pub config: IndexConfig,
+    pub vocab: Vec<String>,
+    pub doc_names: StringColumn,
+    pub doc_lens: Vec<i32>,
+    pub doc_freqs: Vec<u32>,
+    pub offsets: Vec<usize>,
+    pub docid: Column,
+    pub tf: Column,
+    pub score: Option<Column>,
+    pub quantizer: Option<Quantizer>,
+}
+
+impl InvertedIndex {
+    /// Writes the index to a segment file at `path`, streaming compressed
+    /// columns block-at-a-time. Returns the segment size in bytes.
+    pub fn write_segment(&self, path: impl AsRef<Path>) -> Result<u64, SegmentError> {
+        write_segment_file(self, None, path.as_ref())
+    }
+
+    /// Writes a per-partition segment: like [`Self::write_segment`] plus a
+    /// [`SectionKind::GlobalIds`] section mapping each local docid to its
+    /// collection-wide id, so a cluster can be reassembled from segments.
+    pub fn write_partition_segment(
+        &self,
+        global_ids: &[u32],
+        path: impl AsRef<Path>,
+    ) -> Result<u64, SegmentError> {
+        assert_eq!(
+            global_ids.len(),
+            self.doc_lens().len(),
+            "one global id per document"
+        );
+        write_segment_file(self, Some(global_ids), path.as_ref())
+    }
+
+    /// Opens a segment written by [`Self::write_segment`]. The posting (and
+    /// score) columns come back disk-backed: blocks are `pread` on first
+    /// touch, cached, dropped on buffer-pool eviction, and re-read on the
+    /// next access.
+    pub fn open_segment(path: impl AsRef<Path>) -> Result<Self, SegmentError> {
+        Ok(open_segment_file(path.as_ref())?.0)
+    }
+
+    /// Opens a per-partition segment, returning the index together with its
+    /// local-to-global docid map.
+    pub fn open_partition_segment(
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, Vec<u32>), SegmentError> {
+        let (index, global_ids) = open_segment_file(path.as_ref())?;
+        let global_ids = global_ids.ok_or(SegmentError::Corrupt(
+            "partition segment lacks a global-ids section",
+        ))?;
+        Ok((index, global_ids))
+    }
+}
+
+/// The score column's codec for each materialization variant.
+fn score_codec(materialize: Materialize) -> Option<Codec> {
+    match materialize {
+        Materialize::None => None,
+        Materialize::F32 => Some(Codec::Raw),
+        Materialize::Quantized8 => Some(Codec::Pfor { width: 8 }),
+    }
+}
+
+fn encode_meta(index: &InvertedIndex) -> Vec<u8> {
+    let cfg = index.config();
+    let (lower, upper, q) = index
+        .quantizer()
+        .map(|qz| (qz.lower, qz.upper, qz.q))
+        .unwrap_or((0.0, 0.0, 0));
+    let mut meta = Vec::with_capacity(META_LEN);
+    meta.push(u8::from(cfg.compress));
+    meta.push(match cfg.materialize {
+        Materialize::None => 0,
+        Materialize::F32 => 1,
+        Materialize::Quantized8 => 2,
+    });
+    meta.push(u8::from(index.quantizer().is_some()));
+    meta.push(0);
+    meta.extend_from_slice(&cfg.params.k1.to_bits().to_le_bytes());
+    meta.extend_from_slice(&cfg.params.b.to_bits().to_le_bytes());
+    meta.extend_from_slice(&lower.to_bits().to_le_bytes());
+    meta.extend_from_slice(&upper.to_bits().to_le_bytes());
+    meta.extend_from_slice(&q.to_le_bytes());
+    meta.extend_from_slice(&(cfg.block_size as u64).to_le_bytes());
+    meta.extend_from_slice(&(index.num_terms() as u64).to_le_bytes());
+    meta.extend_from_slice(&(index.doc_lens().len() as u64).to_le_bytes());
+    meta.extend_from_slice(&(index.num_postings() as u64).to_le_bytes());
+    debug_assert_eq!(meta.len(), META_LEN);
+    meta
+}
+
+/// `[u32 length][UTF-8 bytes]` per string, in order.
+fn encode_strings<'a>(strings: impl Iterator<Item = &'a str>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for s in strings {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    out
+}
+
+fn write_segment_file(
+    index: &InvertedIndex,
+    global_ids: Option<&[u32]>,
+    path: &Path,
+) -> Result<u64, SegmentError> {
+    let num_docs = index.doc_lens().len();
+    let num_terms = index.num_terms();
+    let mut w = SegmentWriter::create(path)?;
+    w.write_section(SectionKind::Meta, &encode_meta(index))?;
+    w.write_section(
+        SectionKind::Terms,
+        &encode_strings(index.term_strings().into_iter()),
+    )?;
+    w.write_section(
+        SectionKind::DocNames,
+        &encode_strings((0..num_docs).map(|d| {
+            index
+                .doc_name(d as u32)
+                .expect("every docid below num_docs has a name")
+        })),
+    )?;
+    let mut lens = Vec::with_capacity(num_docs * 4);
+    for &l in index.doc_lens().iter() {
+        lens.extend_from_slice(&l.to_le_bytes());
+    }
+    w.write_section(SectionKind::DocLens, &lens)?;
+    let mut freqs = Vec::with_capacity(num_terms * 4);
+    for t in 0..num_terms {
+        freqs.extend_from_slice(&index.doc_freq(t as u32).to_le_bytes());
+    }
+    w.write_section(SectionKind::DocFreqs, &freqs)?;
+    let mut offsets = Vec::with_capacity((num_terms + 1) * 8);
+    for t in 0..num_terms {
+        offsets.extend_from_slice(&(index.term_range(t as u32).start as u64).to_le_bytes());
+    }
+    offsets.extend_from_slice(&(index.num_postings() as u64).to_le_bytes());
+    w.write_section(SectionKind::Offsets, &offsets)?;
+    let column = |name: &str| {
+        index
+            .td()
+            .column(name)
+            .expect("index TD table always has its posting columns")
+    };
+    w.write_column_section(SectionKind::ColDocid, column("docid"))?;
+    w.write_column_section(SectionKind::ColTf, column("tf"))?;
+    if index.has_materialized_scores() {
+        w.write_column_section(SectionKind::ColScore, column("score"))?;
+    }
+    if let Some(ids) = global_ids {
+        let mut bytes = Vec::with_capacity(ids.len() * 4);
+        for &g in ids {
+            bytes.extend_from_slice(&g.to_le_bytes());
+        }
+        w.write_section(SectionKind::GlobalIds, &bytes)?;
+    }
+    w.finish()
+}
+
+/// Decoded [`SectionKind::Meta`] payload.
+struct Meta {
+    config: IndexConfig,
+    quantizer: Option<Quantizer>,
+    num_terms: usize,
+    num_docs: usize,
+    num_postings: usize,
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<Meta, SegmentError> {
+    if bytes.len() != META_LEN {
+        return Err(SegmentError::Corrupt("meta section has the wrong length"));
+    }
+    let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().unwrap());
+    let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+    let compress = match bytes[0] {
+        0 => false,
+        1 => true,
+        _ => return Err(SegmentError::Corrupt("bad compression flag")),
+    };
+    let materialize = match bytes[1] {
+        0 => Materialize::None,
+        1 => Materialize::F32,
+        2 => Materialize::Quantized8,
+        _ => return Err(SegmentError::Corrupt("bad materialization tag")),
+    };
+    let has_quantizer = match bytes[2] {
+        0 => false,
+        1 => true,
+        _ => return Err(SegmentError::Corrupt("bad quantizer flag")),
+    };
+    if has_quantizer != (materialize == Materialize::Quantized8) {
+        return Err(SegmentError::Corrupt(
+            "quantizer flag disagrees with materialization",
+        ));
+    }
+    if bytes[3] != 0 {
+        return Err(SegmentError::Corrupt("nonzero reserved meta field"));
+    }
+    let params = crate::bm25::Bm25Params {
+        k1: f32::from_bits(u32_at(4)),
+        b: f32::from_bits(u32_at(8)),
+    };
+    let quantizer = has_quantizer.then(|| Quantizer {
+        lower: f32::from_bits(u32_at(12)),
+        upper: f32::from_bits(u32_at(16)),
+        q: u32_at(20),
+    });
+    let block_size = usize::try_from(u64_at(24))
+        .ok()
+        .filter(|&b| b > 0 && b.is_multiple_of(x100_compress::ENTRY_POINT_STRIDE))
+        .ok_or(SegmentError::Corrupt("bad index block size"))?;
+    let num_terms = usize::try_from(u64_at(32))
+        .ok()
+        .filter(|&n| n <= u32::MAX as usize)
+        .ok_or(SegmentError::Corrupt("term count out of range"))?;
+    let num_docs = usize::try_from(u64_at(40))
+        .ok()
+        .filter(|&n| n <= u32::MAX as usize)
+        .ok_or(SegmentError::Corrupt("document count out of range"))?;
+    let num_postings = usize::try_from(u64_at(48))
+        .map_err(|_| SegmentError::Corrupt("posting count out of range"))?;
+    Ok(Meta {
+        config: IndexConfig {
+            compress,
+            materialize,
+            params,
+            block_size,
+        },
+        quantizer,
+        num_terms,
+        num_docs,
+        num_postings,
+    })
+}
+
+/// Parses `[u32 length][bytes]` strings, expecting exactly `count` of them
+/// spanning exactly `bytes`. Pre-allocation is bounded by what the section
+/// could physically hold, so a corrupt count cannot balloon memory.
+fn decode_strings(bytes: &[u8], count: usize) -> Result<Vec<String>, SegmentError> {
+    let mut out = Vec::with_capacity(count.min(bytes.len() / 4 + 1));
+    let mut rest = bytes;
+    for _ in 0..count {
+        if rest.len() < 4 {
+            return Err(SegmentError::Corrupt("string record truncated"));
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+        rest = &rest[4..];
+        if rest.len() < len {
+            return Err(SegmentError::Corrupt("string record truncated"));
+        }
+        let s = std::str::from_utf8(&rest[..len])
+            .map_err(|_| SegmentError::Corrupt("string record is not UTF-8"))?;
+        out.push(s.to_owned());
+        rest = &rest[len..];
+    }
+    if !rest.is_empty() {
+        return Err(SegmentError::Corrupt("trailing bytes after string records"));
+    }
+    Ok(out)
+}
+
+/// Parses a section of little-endian 4-byte records whose length must be
+/// exactly `count * 4`.
+fn decode_u32s(bytes: &[u8], count: usize) -> Result<Vec<u32>, SegmentError> {
+    if bytes.len()
+        != count
+            .checked_mul(4)
+            .ok_or(SegmentError::Corrupt("count overflows"))?
+    {
+        return Err(SegmentError::Corrupt(
+            "fixed-width section has the wrong length",
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+fn open_segment_file(path: &Path) -> Result<(InvertedIndex, Option<Vec<u32>>), SegmentError> {
+    let r = SegmentReader::open(path)?;
+    let meta = decode_meta(&r.read_section(SectionKind::Meta)?)?;
+    let vocab = decode_strings(&r.read_section(SectionKind::Terms)?, meta.num_terms)?;
+    let names = decode_strings(&r.read_section(SectionKind::DocNames)?, meta.num_docs)?;
+    let mut name_builder = StringColumnBuilder::new("name");
+    for n in &names {
+        name_builder.push(n);
+    }
+    let doc_names = name_builder.finish();
+    let doc_lens: Vec<i32> = decode_u32s(&r.read_section(SectionKind::DocLens)?, meta.num_docs)?
+        .into_iter()
+        .map(|v| v as i32)
+        .collect();
+    if doc_lens.iter().any(|&l| l < 0) {
+        return Err(SegmentError::Corrupt("negative document length"));
+    }
+    let doc_freqs = decode_u32s(&r.read_section(SectionKind::DocFreqs)?, meta.num_terms)?;
+    let offset_bytes = r.read_section(SectionKind::Offsets)?;
+    let expect_len = (meta.num_terms + 1)
+        .checked_mul(8)
+        .ok_or(SegmentError::Corrupt("term count overflows"))?;
+    if offset_bytes.len() != expect_len {
+        return Err(SegmentError::Corrupt(
+            "offsets section has the wrong length",
+        ));
+    }
+    let mut offsets = Vec::with_capacity(meta.num_terms + 1);
+    for c in offset_bytes.chunks_exact(8) {
+        let v = u64::from_le_bytes(c.try_into().unwrap());
+        let v = usize::try_from(v).map_err(|_| SegmentError::Corrupt("offset out of range"))?;
+        if let Some(&prev) = offsets.last() {
+            if v < prev {
+                return Err(SegmentError::Corrupt("offsets not monotone"));
+            }
+        } else if v != 0 {
+            return Err(SegmentError::Corrupt("offsets must start at zero"));
+        }
+        offsets.push(v);
+    }
+    if *offsets.last().expect("num_terms + 1 >= 1") != meta.num_postings {
+        return Err(SegmentError::Corrupt(
+            "offsets do not cover the posting count",
+        ));
+    }
+    for t in 0..meta.num_terms {
+        if (offsets[t + 1] - offsets[t]) as u64 != u64::from(doc_freqs[t]) {
+            return Err(SegmentError::Corrupt(
+                "document frequency disagrees with offsets",
+            ));
+        }
+    }
+    let (docid_codec, tf_codec) = posting_codecs(&meta.config);
+    let open_posting_column =
+        |kind: SectionKind, name: &str, codec: Codec| -> Result<Column, SegmentError> {
+            let col = r.open_column(kind, name)?;
+            if col.codec() != codec {
+                return Err(SegmentError::Corrupt(
+                    "column codec disagrees with configuration",
+                ));
+            }
+            if col.block_size() != meta.config.block_size {
+                return Err(SegmentError::Corrupt(
+                    "column block size disagrees with configuration",
+                ));
+            }
+            if col.len() != meta.num_postings {
+                return Err(SegmentError::Corrupt(
+                    "column length disagrees with posting count",
+                ));
+            }
+            Ok(col)
+        };
+    let docid = open_posting_column(SectionKind::ColDocid, "docid", docid_codec)?;
+    let tf = open_posting_column(SectionKind::ColTf, "tf", tf_codec)?;
+    let score = match score_codec(meta.config.materialize) {
+        Some(codec) => Some(open_posting_column(SectionKind::ColScore, "score", codec)?),
+        None => {
+            if r.has_section(SectionKind::ColScore) {
+                return Err(SegmentError::Corrupt(
+                    "unexpected score column for unmaterialized index",
+                ));
+            }
+            None
+        }
+    };
+    let global_ids = if r.has_section(SectionKind::GlobalIds) {
+        Some(decode_u32s(
+            &r.read_section(SectionKind::GlobalIds)?,
+            meta.num_docs,
+        )?)
+    } else {
+        None
+    };
+    let index = InvertedIndex::from_segment_parts(SegmentParts {
+        config: meta.config,
+        vocab,
+        doc_names,
+        doc_lens,
+        doc_freqs,
+        offsets,
+        docid,
+        tf,
+        score,
+        quantizer: meta.quantizer,
+    });
+    Ok((index, global_ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x100_corpus::{CollectionConfig, SyntheticCollection};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("x100-ir-segment-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_index_shape() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let idx = InvertedIndex::build(&c, &IndexConfig::materialized_q8());
+        let path = temp_path("shape");
+        idx.write_segment(&path).unwrap();
+        let back = InvertedIndex::open_segment(&path).unwrap();
+        assert_eq!(back.config(), idx.config());
+        assert_eq!(back.stats(), idx.stats());
+        assert_eq!(back.num_terms(), idx.num_terms());
+        assert_eq!(back.num_postings(), idx.num_postings());
+        assert_eq!(back.quantizer(), idx.quantizer());
+        assert_eq!(back.doc_lens(), idx.doc_lens());
+        for t in 0..idx.num_terms() as u32 {
+            assert_eq!(back.term_range(t), idx.term_range(t));
+            assert_eq!(back.doc_freq(t), idx.doc_freq(t));
+        }
+        for d in 0..c.docs.len() as u32 {
+            assert_eq!(back.doc_name(d), idx.doc_name(d));
+        }
+        assert_eq!(back.term_id("term3"), idx.term_id("term3"));
+        // Posting columns decode bit-identically (lazily, from disk).
+        for name in ["docid", "tf", "score"] {
+            assert_eq!(
+                back.td().column(name).unwrap().read_all(),
+                idx.td().column(name).unwrap().read_all(),
+                "{name}"
+            );
+            assert!(back.td().column(name).unwrap().is_disk_backed());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partition_segment_carries_global_ids() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let idx = InvertedIndex::build(&c, &IndexConfig::compressed());
+        let ids: Vec<u32> = (0..c.docs.len() as u32).map(|d| d * 2 + 1).collect();
+        let path = temp_path("gids");
+        idx.write_partition_segment(&ids, &path).unwrap();
+        let (_, back_ids) = InvertedIndex::open_partition_segment(&path).unwrap();
+        assert_eq!(back_ids, ids);
+        // A plain segment refuses to open as a partition segment.
+        let plain = temp_path("plain");
+        idx.write_segment(&plain).unwrap();
+        assert!(matches!(
+            InvertedIndex::open_partition_segment(&plain),
+            Err(SegmentError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&plain).unwrap();
+    }
+
+    #[test]
+    fn uncompressed_and_f32_variants_roundtrip() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        for cfg in [IndexConfig::uncompressed(), IndexConfig::materialized_f32()] {
+            let idx = InvertedIndex::build(&c, &cfg);
+            let path = temp_path("variant");
+            idx.write_segment(&path).unwrap();
+            let back = InvertedIndex::open_segment(&path).unwrap();
+            assert_eq!(back.config(), idx.config());
+            assert_eq!(
+                back.td().column("docid").unwrap().read_all(),
+                idx.td().column("docid").unwrap().read_all()
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+}

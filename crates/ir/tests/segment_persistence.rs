@@ -1,0 +1,290 @@
+//! Segment persistence under fire: restart differentials across every
+//! search strategy, plus exhaustive corruption injection — every byte
+//! flipped, every truncation length, and oversized declared sizes with
+//! re-sealed checksums (so the structural validators, not the checksums,
+//! are what must catch them). A corrupt segment must always fail open
+//! with a typed [`SegmentError`]: never a panic, never an unbounded
+//! allocation.
+
+use std::sync::Arc;
+
+use x100_corpus::{CollectionConfig, SyntheticCollection};
+use x100_ir::{
+    IndexConfig, InvertedIndex, QueryExecutor, SearchStrategy, SegmentError, StreamingIndexBuilder,
+};
+use x100_storage::{BufferManager, BufferMode, DiskModel};
+
+const ALL_STRATEGIES: [SearchStrategy; 6] = [
+    SearchStrategy::BoolAnd,
+    SearchStrategy::BoolOr,
+    SearchStrategy::Bm25,
+    SearchStrategy::Bm25TwoPass,
+    SearchStrategy::Bm25Materialized,
+    SearchStrategy::Bm25MaterializedTwoPass,
+];
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "x100-segment-persist-{name}-{}",
+        std::process::id()
+    ));
+    p
+}
+
+/// A deliberately small index (few dozen docs, tiny vocabulary) whose
+/// segment stays in the low kilobytes — small enough that byte-exhaustive
+/// and truncation-exhaustive injection runs in moments.
+fn small_index(config: &IndexConfig) -> InvertedIndex {
+    let vocab: Vec<String> = (0..24).map(|t| format!("term{t}")).collect();
+    let mut b = StreamingIndexBuilder::new(vocab.len(), config);
+    for d in 0..40u32 {
+        // Deterministic, skewed postings: low term ids appear often.
+        let terms: Vec<(u32, u32)> = (0..24u32)
+            .filter(|t| (d + t) % (t + 2) == 0)
+            .map(|t| (t, 1 + (d + t) % 5))
+            .collect();
+        let len = terms.iter().map(|&(_, tf)| tf).sum::<u32>().max(1);
+        b.push_doc(&format!("doc-{d:04}"), &terms, len);
+    }
+    b.finish(&vocab)
+}
+
+// ---------------------------------------------------------------------------
+// Restart differential
+// ---------------------------------------------------------------------------
+
+/// Write → reopen cold in a pool small enough to evict continuously →
+/// every strategy must return results bit-identical to the in-memory
+/// index, even though each of its blocks is dropped and re-`pread`
+/// multiple times along the way.
+#[test]
+fn reopened_segment_serves_all_strategies_bit_identically() {
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    let mem_index = Arc::new(InvertedIndex::build(&c, &IndexConfig::materialized_q8()));
+    let path = temp_path("differential");
+    mem_index.write_segment(&path).unwrap();
+    let seg_index = Arc::new(InvertedIndex::open_segment(&path).unwrap());
+
+    let mem_exec = QueryExecutor::new(mem_index.clone());
+    // A pool holding roughly one block forces eviction on practically
+    // every touch: blocks are dropped and re-read from the file all run.
+    let tiny_pool = Arc::new(BufferManager::with_mode(
+        DiskModel::instant(),
+        BufferMode::Cold,
+        4 << 10,
+    ));
+    let seg_exec = QueryExecutor::with_buffer_manager(seg_index.clone(), tiny_pool);
+
+    for strategy in ALL_STRATEGIES {
+        for q in c.eval_queries.iter().take(10) {
+            let mem = mem_exec.search(&q.terms, strategy, 20).expect("mem search");
+            let seg = seg_exec.search(&q.terms, strategy, 20).expect("seg search");
+            assert_eq!(
+                seg.results, mem.results,
+                "strategy {strategy:?} diverged after reopen"
+            );
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Corruption injection helpers
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64 — the segment format's checksum, reimplemented here so the
+/// tests can *re-seal* deliberately corrupted files and prove the
+/// structural validators (not just the checksums) reject them.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+fn put_u64(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Offset of the table of contents (from the header) and entry count.
+fn toc_layout(file: &[u8]) -> (usize, usize) {
+    let toc_offset = u64_at(file, 16) as usize;
+    let count = u32::from_le_bytes(file[8..12].try_into().unwrap()) as usize;
+    (toc_offset, count)
+}
+
+/// Re-seals the header checksum over bytes `[0..32)`.
+fn reseal_header(file: &mut [u8]) {
+    let sum = fnv(&file[0..32]);
+    put_u64(file, 32, sum);
+}
+
+/// Re-seals the TOC trailer checksum over all entries.
+fn reseal_toc(file: &mut [u8]) {
+    let (toc_offset, count) = toc_layout(file);
+    let sum = fnv(&file[toc_offset..toc_offset + count * 32]);
+    put_u64(file, toc_offset + count * 32, sum);
+}
+
+/// Finds the TOC slot of a section by kind tag; returns the slot offset.
+fn toc_slot(file: &[u8], kind: u32) -> usize {
+    let (toc_offset, count) = toc_layout(file);
+    (0..count)
+        .map(|i| toc_offset + i * 32)
+        .find(|&at| u32::from_le_bytes(file[at..at + 4].try_into().unwrap()) == kind)
+        .unwrap_or_else(|| panic!("no section with kind {kind}"))
+}
+
+/// Recomputes a section's checksum from its (possibly patched) payload and
+/// re-seals the TOC around it.
+fn reseal_section(file: &mut [u8], kind: u32) {
+    let slot = toc_slot(file, kind);
+    let offset = u64_at(file, slot + 8) as usize;
+    let len = u64_at(file, slot + 16) as usize;
+    let sum = fnv(&file[offset..offset + len]);
+    put_u64(file, slot + 24, sum);
+    reseal_toc(file);
+}
+
+/// Opens patched bytes as a segment, expecting a typed error.
+fn open_expecting_error(bytes: &[u8], what: &str) {
+    let path = temp_path("inject");
+    std::fs::write(&path, bytes).unwrap();
+    let result = InvertedIndex::open_segment(&path);
+    std::fs::remove_file(&path).unwrap();
+    match result {
+        Err(
+            SegmentError::Corrupt(_)
+            | SegmentError::Truncated
+            | SegmentError::BadMagic(_)
+            | SegmentError::BadVersion(_)
+            | SegmentError::Io(_),
+        ) => {}
+        Ok(_) => panic!("{what}: corrupt segment opened successfully"),
+    }
+}
+
+fn pristine_segment(config: &IndexConfig) -> Vec<u8> {
+    let index = small_index(config);
+    let path = temp_path("pristine");
+    index.write_segment(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    bytes
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive injection suites
+// ---------------------------------------------------------------------------
+
+/// Every single byte of the file, XOR 0xFF: any substitution must fail
+/// open — the checksums cover every payload byte, the padding bytes are
+/// verified zero, and the checksum fields themselves then mismatch.
+#[test]
+fn every_flipped_byte_is_rejected() {
+    let pristine = pristine_segment(&IndexConfig::materialized_q8());
+    assert!(
+        pristine.len() < 64 << 10,
+        "fixture segment unexpectedly large: {} bytes",
+        pristine.len()
+    );
+    let mut bytes = pristine.clone();
+    for i in 0..pristine.len() {
+        bytes[i] ^= 0xFF;
+        open_expecting_error(&bytes, &format!("byte {i} flipped"));
+        bytes[i] = pristine[i];
+    }
+}
+
+/// Every truncation length from the empty file up to one byte short: the
+/// open must fail (typically `Truncated`), never panic or read past EOF.
+#[test]
+fn every_truncation_length_is_rejected() {
+    let pristine = pristine_segment(&IndexConfig::compressed());
+    for len in 0..pristine.len() {
+        open_expecting_error(&pristine[..len], &format!("truncated to {len} bytes"));
+    }
+}
+
+/// Oversized and inconsistent *declared* sizes, each with every checksum
+/// re-sealed so the structural validators are what must reject them —
+/// and each crafted so a validator that trusted the declared size would
+/// attempt an absurd allocation or out-of-bounds read.
+#[test]
+fn resealed_oversized_declarations_are_rejected() {
+    const META: u32 = 1;
+    const TERMS: u32 = 2;
+    const COL_DOCID: u32 = 7;
+    let pristine = pristine_segment(&IndexConfig::materialized_q8());
+
+    // Declared file length far beyond the real file.
+    let mut b = pristine.clone();
+    put_u64(&mut b, 24, u64::MAX / 2);
+    reseal_header(&mut b);
+    open_expecting_error(&b, "oversized declared file length");
+
+    // A TOC entry claiming a section of nearly 2^63 bytes.
+    let mut b = pristine.clone();
+    let slot = toc_slot(&b, TERMS);
+    put_u64(&mut b, slot + 16, u64::MAX / 2);
+    reseal_toc(&mut b);
+    open_expecting_error(&b, "oversized declared section length");
+
+    // META claiming ~2^61 documents: every doc-indexed section is now
+    // "too short"; a reader that pre-allocated would die here.
+    let mut b = pristine.clone();
+    let meta_slot = toc_slot(&b, META);
+    let meta_off = u64_at(&b, meta_slot + 8) as usize;
+    put_u64(&mut b, meta_off + 40, u64::MAX / 8);
+    reseal_section(&mut b, META);
+    open_expecting_error(&b, "oversized declared document count");
+
+    // META claiming ~2^61 terms.
+    let mut b = pristine.clone();
+    put_u64(&mut b, meta_off + 32, u64::MAX / 8);
+    reseal_section(&mut b, META);
+    open_expecting_error(&b, "oversized declared term count");
+
+    // A terms-section string record claiming u32::MAX bytes.
+    let mut b = pristine.clone();
+    let terms_slot = toc_slot(&b, TERMS);
+    let terms_off = u64_at(&b, terms_slot + 8) as usize;
+    b[terms_off..terms_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    reseal_section(&mut b, TERMS);
+    open_expecting_error(&b, "oversized string record");
+
+    // Posting column claiming ~2^60 blocks (header field block_count).
+    let mut b = pristine.clone();
+    let col_slot = toc_slot(&b, COL_DOCID);
+    let col_off = u64_at(&b, col_slot + 8) as usize;
+    put_u64(&mut b, col_off + 24, u64::MAX / 16);
+    reseal_section(&mut b, COL_DOCID);
+    open_expecting_error(&b, "oversized declared block count");
+
+    // Posting column claiming ~2^60 values with the real block directory.
+    let mut b = pristine.clone();
+    put_u64(&mut b, col_off + 16, u64::MAX / 16);
+    reseal_section(&mut b, COL_DOCID);
+    open_expecting_error(&b, "oversized declared value count");
+
+    // A block-directory entry pushed past the section payload: the
+    // prefix-sum directory must stay monotone and end exactly at the
+    // payload's end.
+    let mut b = pristine.clone();
+    put_u64(&mut b, col_off + 32 + 8, u64::MAX / 4);
+    reseal_section(&mut b, COL_DOCID);
+    open_expecting_error(&b, "oversized block-directory entry");
+
+    // Sanity: the pristine bytes still open after all that cloning.
+    let path = temp_path("still-good");
+    std::fs::write(&path, &pristine).unwrap();
+    InvertedIndex::open_segment(&path).expect("pristine segment must open");
+    std::fs::remove_file(&path).unwrap();
+}

@@ -102,6 +102,19 @@ fn stripe_of(key: &(ColumnId, u32)) -> usize {
     (h.finish().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % NUM_STRIPES
 }
 
+/// Residency key for a block. The index is stored narrowed to `u32`; the
+/// narrowing is checked, because a silent `as` cast would alias block
+/// `2^32 + k` onto block `k` — distinct blocks sharing one residency entry,
+/// and (worse) an eviction of one dropping the cached bytes of the other.
+/// At the default multi-megabyte block size a `u32` of blocks is an
+/// exabyte-scale column, so overflow is a caller bug, not a data regime.
+fn block_key(column: &Column, block_idx: usize) -> (ColumnId, u32) {
+    let idx = u32::try_from(block_idx).unwrap_or_else(|_| {
+        panic!("block index {block_idx} exceeds the u32 buffer-pool key range")
+    });
+    (column.id(), idx)
+}
+
 impl BufferManager {
     /// Creates a buffer manager with a RAM budget in bytes.
     pub fn new(disk: DiskModel, capacity_bytes: usize) -> Self {
@@ -149,9 +162,14 @@ impl BufferManager {
     /// Declares that block `block_idx` of `column` is about to be read.
     /// Charges simulated disk time if the block is not resident, then marks
     /// it resident (possibly evicting LRU blocks).
+    ///
+    /// For a disk-backed column (one served from an open segment file) a
+    /// miss is also a *real* read: the block is loaded from the file here,
+    /// after the stripe lock is released. The [`DiskModel`] accounting stays
+    /// as a deterministic overlay on top of that physical read.
     pub fn touch(&self, column: &Column, block_idx: usize) {
-        let key = (column.id(), block_idx as u32);
-        let bytes = column.block(block_idx).compressed_bytes();
+        let key = block_key(column, block_idx);
+        let bytes = column.block_bytes(block_idx);
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let cost = {
             let mut st = self.stripes[stripe_of(&key)].lock();
@@ -172,6 +190,9 @@ impl BufferManager {
             self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
             cost
         };
+        // The physical read behind the miss, with no locks held. (In-memory
+        // columns make this a no-op — their data never left RAM.)
+        column.ensure_loaded(block_idx);
         if self.resident_bytes.load(Ordering::Relaxed) > self.capacity_bytes {
             self.evict_lru_sweep(key);
         }
@@ -188,34 +209,43 @@ impl BufferManager {
     /// the manager, so lock acquisition is totally ordered and cannot
     /// deadlock.
     fn evict_lru_sweep(&self, protect: (ColumnId, u32)) {
-        let mut stripes: Vec<MutexGuard<'_, Stripe>> =
-            self.stripes.iter().map(|s| s.lock()).collect();
-        loop {
-            // With all stripe locks held the atomic total is exact.
-            let total = self.resident_bytes.load(Ordering::Relaxed);
-            if total <= self.capacity_bytes {
-                return;
+        let mut evicted: Vec<(ColumnId, u32)> = Vec::new();
+        {
+            let mut stripes: Vec<MutexGuard<'_, Stripe>> =
+                self.stripes.iter().map(|s| s.lock()).collect();
+            loop {
+                // With all stripe locks held the atomic total is exact.
+                let total = self.resident_bytes.load(Ordering::Relaxed);
+                if total <= self.capacity_bytes {
+                    break;
+                }
+                // Oldest block, never the one we just admitted. Under
+                // concurrency `protect` may well be the globally oldest
+                // (other threads drew newer ticks while this miss was in
+                // flight), so it is skipped rather than treated as a stop
+                // condition; when nothing but `protect` is left, an
+                // over-sized block simply stays resident, exactly like the
+                // historical single-block pool behaviour.
+                let Some((si, victim, vbytes)) = stripes
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(si, s)| s.resident.iter().map(move |(&k, &(b, t))| (t, si, k, b)))
+                    .filter(|&(_, _, k, _)| k != protect)
+                    .min_by_key(|&(t, ..)| t)
+                    .map(|(_, si, k, b)| (si, k, b))
+                else {
+                    break;
+                };
+                stripes[si].resident.remove(&victim);
+                stripes[si].bytes -= vbytes;
+                self.resident_bytes.fetch_sub(vbytes, Ordering::Relaxed);
+                evicted.push(victim);
             }
-            // Oldest block, never the one we just admitted. Under
-            // concurrency `protect` may well be the globally oldest (other
-            // threads drew newer ticks while this miss was in flight), so
-            // it is skipped rather than treated as a stop condition; when
-            // nothing but `protect` is left, an over-sized block simply
-            // stays resident, exactly like the historical single-block
-            // pool behaviour.
-            let Some((si, victim, vbytes)) = stripes
-                .iter()
-                .enumerate()
-                .flat_map(|(si, s)| s.resident.iter().map(move |(&k, &(b, t))| (t, si, k, b)))
-                .filter(|&(_, _, k, _)| k != protect)
-                .min_by_key(|&(t, ..)| t)
-                .map(|(_, si, k, b)| (si, k, b))
-            else {
-                return;
-            };
-            stripes[si].resident.remove(&victim);
-            stripes[si].bytes -= vbytes;
-            self.resident_bytes.fetch_sub(vbytes, Ordering::Relaxed);
+        }
+        // Stripe locks released: evicted disk-backed blocks drop their
+        // cached bytes, so re-touching them is a real file read again.
+        for (col, idx) in evicted {
+            crate::column::release_evicted_block(col, idx);
         }
     }
 
@@ -228,15 +258,23 @@ impl BufferManager {
     }
 
     /// Drops all residency (the start of a cold run) without resetting
-    /// accumulated statistics.
+    /// accumulated statistics. Disk-backed blocks drop their cached bytes
+    /// too, so the next run re-reads them from the segment file.
     pub fn evict_all(&self) {
-        let mut stripes: Vec<MutexGuard<'_, Stripe>> =
-            self.stripes.iter().map(|s| s.lock()).collect();
-        for st in &mut stripes {
-            st.resident.clear();
-            st.bytes = 0;
+        let mut evicted: Vec<(ColumnId, u32)> = Vec::new();
+        {
+            let mut stripes: Vec<MutexGuard<'_, Stripe>> =
+                self.stripes.iter().map(|s| s.lock()).collect();
+            for st in &mut stripes {
+                evicted.extend(st.resident.keys().copied());
+                st.resident.clear();
+                st.bytes = 0;
+            }
+            self.resident_bytes.store(0, Ordering::Relaxed);
         }
-        self.resident_bytes.store(0, Ordering::Relaxed);
+        for (col, idx) in evicted {
+            crate::column::release_evicted_block(col, idx);
+        }
     }
 
     /// Accumulated I/O statistics.
@@ -274,7 +312,7 @@ impl BufferManager {
 
     /// Whether a specific block is resident (test hook).
     pub fn is_resident(&self, column: &Column, block_idx: usize) -> bool {
-        let key = (column.id(), block_idx as u32);
+        let key = block_key(column, block_idx);
         self.stripes[stripe_of(&key)]
             .lock()
             .resident

@@ -10,7 +10,11 @@
 //! 4 MB — the paper's "granularity of disk accesses is in blocks of several
 //! megabytes".
 
+use std::collections::HashMap;
+use std::fs::File;
+use std::os::unix::fs::FileExt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 use x100_compress::{Codec, CompressedBlock, ENTRY_POINT_STRIDE};
 
@@ -119,9 +123,145 @@ impl ColumnBuilder {
             name: self.name,
             codec: self.codec,
             block_size: self.block_size,
-            blocks: self.blocks,
+            store: BlockStore::Mem(self.blocks),
             len: self.len,
         }
+    }
+}
+
+/// The physical backing of a column's compressed blocks.
+#[derive(Debug, Clone)]
+enum BlockStore {
+    /// Every block lives in RAM (a column built in this process).
+    Mem(Vec<CompressedBlock>),
+    /// Blocks live in a segment file; each is pread and decoded on first
+    /// access, cached until the buffer manager evicts it, then re-read.
+    Disk(Arc<DiskBlocks>),
+}
+
+/// Disk-backed block storage for one column of an open segment.
+///
+/// Each block occupies a known `(offset, byte length)` extent of the segment
+/// file — both validated against the file's real length at open time — and
+/// is loaded with a positional read (`pread`) on first access. Loaded blocks
+/// are cached in per-block slots; when the [`crate::BufferManager`] evicts a
+/// block it drops the slot (via the process-wide registry below), and the
+/// next access simply reads it again.
+#[derive(Debug)]
+struct DiskBlocks {
+    column: ColumnId,
+    file: Arc<File>,
+    /// Per-block (absolute file offset, serialized byte length).
+    entries: Vec<(u64, u32)>,
+    /// Lazily loaded blocks, one slot per entry.
+    slots: Vec<Mutex<Option<Arc<CompressedBlock>>>>,
+}
+
+impl DiskBlocks {
+    fn new(column: ColumnId, file: Arc<File>, entries: Vec<(u64, u32)>) -> Arc<Self> {
+        let slots = entries.iter().map(|_| Mutex::new(None)).collect();
+        let blocks = Arc::new(DiskBlocks {
+            column,
+            file,
+            entries,
+            slots,
+        });
+        registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(column, Arc::downgrade(&blocks));
+        blocks
+    }
+
+    /// Returns block `idx`, reading and decoding it if its slot is empty.
+    ///
+    /// # Panics
+    /// Panics if the read or decode fails: every segment is fully
+    /// checksum-verified at open time, so a failure here means the file
+    /// changed (or the device failed) underneath a running process —
+    /// an environment fault, not a recoverable input error.
+    fn load(&self, idx: usize) -> Arc<CompressedBlock> {
+        let mut slot = self.slots[idx].lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(block) = slot.as_ref() {
+            return Arc::clone(block);
+        }
+        let (offset, len) = self.entries[idx];
+        let mut buf = vec![0u8; len as usize];
+        self.file
+            .read_exact_at(&mut buf, offset)
+            .unwrap_or_else(|e| panic!("segment pread failed after verified open: {e}"));
+        let block = CompressedBlock::from_bytes(&buf)
+            .unwrap_or_else(|e| panic!("segment block corrupt after verified open: {e:?}"));
+        let block = Arc::new(block);
+        *slot = Some(Arc::clone(&block));
+        block
+    }
+
+    fn drop_slot(&self, idx: usize) {
+        if let Some(slot) = self.slots.get(idx) {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+}
+
+impl Drop for DiskBlocks {
+    fn drop(&mut self) {
+        if let Ok(mut reg) = registry().lock() {
+            reg.remove(&self.column);
+        }
+    }
+}
+
+/// Process-wide map from column id to its disk-backed block store, so the
+/// buffer manager (which only knows `(ColumnId, block index)` keys) can drop
+/// the cached bytes of blocks it evicts. Entries are weak: dropping the last
+/// `Column` clone frees the store regardless of the registry.
+fn registry() -> &'static Mutex<HashMap<ColumnId, Weak<DiskBlocks>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<ColumnId, Weak<DiskBlocks>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Called by the buffer manager after evicting `(column, block_idx)` (with
+/// no stripe locks held): for a disk-backed column this frees the cached
+/// block bytes, so the next access becomes a real file read again. In-memory
+/// columns have no registry entry and are unaffected.
+pub(crate) fn release_evicted_block(column: ColumnId, block_idx: u32) {
+    let blocks = {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.get(&column).and_then(Weak::upgrade)
+    };
+    // The upgraded `Arc` is dropped outside the registry lock: if it is the
+    // last reference, `DiskBlocks::drop` re-takes that lock.
+    if let Some(blocks) = blocks {
+        blocks.drop_slot(block_idx as usize);
+    }
+}
+
+/// A reference to one compressed block: borrowed for in-memory columns,
+/// a cached (possibly just-loaded) `Arc` for disk-backed ones. Derefs to
+/// [`CompressedBlock`], so call sites read through it transparently.
+#[derive(Debug)]
+pub enum BlockRef<'a> {
+    /// Borrowed from an in-memory block store.
+    Mem(&'a CompressedBlock),
+    /// Loaded from a segment file (held alive independently of eviction).
+    Disk(Arc<CompressedBlock>),
+}
+
+impl std::ops::Deref for BlockRef<'_> {
+    type Target = CompressedBlock;
+
+    fn deref(&self) -> &CompressedBlock {
+        match self {
+            BlockRef::Mem(b) => b,
+            BlockRef::Disk(b) => b,
+        }
+    }
+}
+
+impl PartialEq for BlockRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
     }
 }
 
@@ -132,7 +272,7 @@ pub struct Column {
     name: String,
     codec: Codec,
     block_size: usize,
-    blocks: Vec<CompressedBlock>,
+    store: BlockStore,
     len: usize,
 }
 
@@ -142,6 +282,28 @@ impl Column {
         let mut b = ColumnBuilder::new(name, codec);
         b.extend(values);
         b.finish()
+    }
+
+    /// Builds a disk-backed column over blocks stored in `file`, each at a
+    /// pre-validated `(absolute offset, serialized byte length)` extent.
+    /// Used by [`crate::SegmentReader`]; blocks load lazily via `pread`.
+    pub(crate) fn from_disk_blocks(
+        name: impl Into<String>,
+        codec: Codec,
+        block_size: usize,
+        len: usize,
+        file: Arc<File>,
+        entries: Vec<(u64, u32)>,
+    ) -> Self {
+        let id = ColumnId::next();
+        Column {
+            id,
+            name: name.into(),
+            codec,
+            block_size,
+            store: BlockStore::Disk(DiskBlocks::new(id, file, entries)),
+            len,
+        }
     }
 
     /// The column's unique identity.
@@ -176,20 +338,49 @@ impl Column {
 
     /// Number of blocks.
     pub fn block_count(&self) -> usize {
-        self.blocks.len()
+        match &self.store {
+            BlockStore::Mem(blocks) => blocks.len(),
+            BlockStore::Disk(blocks) => blocks.entries.len(),
+        }
     }
 
-    /// The compressed block at `idx`.
-    pub fn block(&self, idx: usize) -> &CompressedBlock {
-        &self.blocks[idx]
+    /// The compressed block at `idx`. For a disk-backed column this loads
+    /// the block from the segment file if it is not currently cached.
+    pub fn block(&self, idx: usize) -> BlockRef<'_> {
+        match &self.store {
+            BlockStore::Mem(blocks) => BlockRef::Mem(&blocks[idx]),
+            BlockStore::Disk(blocks) => BlockRef::Disk(blocks.load(idx)),
+        }
     }
 
-    /// Total compressed size in bytes.
+    /// Size in bytes of block `idx` as the I/O layer sees it — without
+    /// loading the block. For in-memory columns this is the compressed
+    /// payload size; for disk-backed columns the serialized extent read
+    /// from the file (payload plus a small per-block framing header).
+    pub fn block_bytes(&self, idx: usize) -> usize {
+        match &self.store {
+            BlockStore::Mem(blocks) => blocks[idx].compressed_bytes(),
+            BlockStore::Disk(blocks) => blocks.entries[idx].1 as usize,
+        }
+    }
+
+    /// Whether the column's blocks live in a segment file rather than RAM.
+    pub fn is_disk_backed(&self) -> bool {
+        matches!(self.store, BlockStore::Disk(_))
+    }
+
+    /// Ensures block `idx` of a disk-backed column is loaded (the *real*
+    /// read behind a buffer-manager miss). No-op for in-memory columns.
+    pub(crate) fn ensure_loaded(&self, idx: usize) {
+        if let BlockStore::Disk(blocks) = &self.store {
+            let _ = blocks.load(idx);
+        }
+    }
+
+    /// Total compressed size in bytes (without loading any disk-backed
+    /// blocks).
     pub fn compressed_bytes(&self) -> usize {
-        self.blocks
-            .iter()
-            .map(CompressedBlock::compressed_bytes)
-            .sum()
+        (0..self.block_count()).map(|i| self.block_bytes(i)).sum()
     }
 
     /// Uncompressed size in bytes (4 bytes per value).
@@ -246,7 +437,7 @@ impl Column {
         // reads one entry-point window inside one block per call and must
         // not allocate. Only multi-block spans pay for a scratch buffer.
         let mut pos = start;
-        let first = &self.blocks[pos / self.block_size];
+        let first = self.block(pos / self.block_size);
         let in_block = pos % self.block_size;
         let take = (end - pos).min(first.len() - in_block);
         first.decode_range_into(in_block, take, out)?;
@@ -255,7 +446,7 @@ impl Column {
             let mut scratch = Vec::new();
             while pos < end {
                 // Subsequent reads start at a block boundary (aligned).
-                let block = &self.blocks[pos / self.block_size];
+                let block = self.block(pos / self.block_size);
                 let take = (end - pos).min(block.len());
                 block.decode_range_into(0, take, &mut scratch)?;
                 out.extend_from_slice(&scratch);
@@ -269,12 +460,13 @@ impl Column {
     /// go through [`crate::scan::ColumnScan`] at vector granularity).
     pub fn read_all(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.len);
-        let mut blocks = self.blocks.iter();
-        if let Some(first) = blocks.next() {
-            // `decode_into` clears its target, keeping the capacity above.
-            first.decode_into(&mut out);
-            let mut scratch = Vec::new();
-            for block in blocks {
+        let mut scratch = Vec::new();
+        for idx in 0..self.block_count() {
+            let block = self.block(idx);
+            if idx == 0 {
+                // `decode_into` clears its target, keeping the capacity.
+                block.decode_into(&mut out);
+            } else {
                 block.decode_into(&mut scratch);
                 out.extend_from_slice(&scratch);
             }

@@ -52,12 +52,18 @@ impl DiskModel {
 
     /// Simulated wall-clock cost of reading `bytes` in one sequential
     /// request.
+    ///
+    /// Saturates at [`Duration::MAX`] instead of panicking: a corrupt
+    /// on-disk length that slips past validation must at worst produce an
+    /// absurd simulated cost, never turn the cost model into a panic
+    /// (`Duration::from_secs_f64` aborts on overflow, NaN and negatives).
     pub fn read_cost(&self, bytes: usize) -> Duration {
         if self.bandwidth_bytes_per_sec.is_infinite() {
             return self.seek;
         }
         let transfer_secs = bytes as f64 / self.bandwidth_bytes_per_sec;
-        self.seek + Duration::from_secs_f64(transfer_secs)
+        let transfer = Duration::try_from_secs_f64(transfer_secs).unwrap_or(Duration::MAX);
+        self.seek.saturating_add(transfer)
     }
 
     /// Simulated wall-clock cost of writing `bytes` in one sequential
@@ -144,6 +150,24 @@ mod tests {
     #[test]
     fn instant_disk_costs_nothing() {
         assert_eq!(DiskModel::instant().read_cost(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn read_cost_saturates_instead_of_panicking() {
+        // A pathological declared size over a trickling bandwidth would
+        // overflow `Duration`; the model must clamp, not panic.
+        let slow = DiskModel {
+            seek: Duration::from_millis(1),
+            bandwidth_bytes_per_sec: f64::MIN_POSITIVE,
+        };
+        assert_eq!(slow.read_cost(usize::MAX), Duration::MAX);
+        assert_eq!(slow.write_cost(usize::MAX), Duration::MAX);
+        // Zero bandwidth yields a NaN transfer time — also clamped.
+        let stuck = DiskModel {
+            seek: Duration::ZERO,
+            bandwidth_bytes_per_sec: 0.0,
+        };
+        assert_eq!(stuck.read_cost(0), Duration::MAX);
     }
 
     #[test]

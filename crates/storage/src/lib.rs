@@ -26,19 +26,24 @@
 //! * [`runfile`] — checksummed, term-ordered on-disk posting runs: the
 //!   external-sort leg that lets index construction spill under a memory
 //!   budget and k-way merge back to one sorted posting stream.
+//! * [`segment`] — the persistent single-file format: checksummed 64-byte-
+//!   aligned sections with per-column prefix-sum block directories, served
+//!   back through the buffer pool with real `pread`s on misses.
 
 pub mod buffer;
 pub mod column;
 pub mod disk;
 pub mod runfile;
 pub mod scan;
+pub mod segment;
 pub mod table;
 
 pub use buffer::{BufferManager, BufferMode, NUM_STRIPES};
-pub use column::{Column, ColumnBuilder, ColumnId, StringColumn, StringColumnBuilder};
+pub use column::{BlockRef, Column, ColumnBuilder, ColumnId, StringColumn, StringColumnBuilder};
 pub use disk::{DiskModel, IoStats};
 pub use runfile::{MemRun, RunFileError, RunFileReader, RunFileWriter, RunMeta, RunSource};
 pub use scan::ColumnScan;
+pub use segment::{SectionKind, SegmentError, SegmentReader, SegmentWriter};
 pub use table::Table;
 
 use std::fmt;

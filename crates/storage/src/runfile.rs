@@ -79,23 +79,25 @@ impl From<std::io::Error> for RunFileError {
     }
 }
 
-/// Incremental FNV-1a (64-bit) over a record's serialized bytes.
+/// Incremental FNV-1a (64-bit) over a record's serialized bytes. Shared
+/// with the segment format ([`crate::segment`]), which uses the same
+/// checksum discipline per section.
 #[derive(Debug, Clone, Copy)]
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
 
-    fn finish(self) -> u64 {
+    pub(crate) fn finish(self) -> u64 {
         self.0
     }
 }
