@@ -1,0 +1,109 @@
+//! An allocation-counting global allocator for pinning allocation-free
+//! hot paths.
+//!
+//! The fused query path (`x100_ir::hot`) promises *zero heap allocations
+//! per query* at steady state. Promises like that rot silently — one
+//! `collect()` added in review and the property is gone with no test
+//! noticing. This module makes the property testable: install
+//! [`CountingAlloc`] as the `#[global_allocator]` of a test binary and
+//! wrap the section under test in [`assert_no_allocs`].
+//!
+//! Counters are **per thread** (const-initialized `Cell`s, so reading
+//! them never allocates or locks): concurrent tests and worker threads
+//! count independently, and a scatter-gather worker can assert its own
+//! hot loop clean while other threads allocate freely.
+//!
+//! ```ignore
+//! use x100_bench::alloc::{assert_no_allocs, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc;
+//!
+//! let hits = assert_no_allocs("warm query", || {
+//!     executor.search_hits_into(&terms, strategy, 10, &mut out)
+//! });
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static DEALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`System`]-backed allocator that counts this thread's allocations,
+/// reallocations (counted as allocations) and deallocations. Install as
+/// `#[global_allocator]` in the binary under test.
+pub struct CountingAlloc;
+
+// Safety: defers the actual memory management to `System` verbatim; the
+// counters are plain per-thread cells with no destructors, so bumping
+// them from inside the allocator cannot recurse into allocation.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.with(|c| c.set(c.get() + 1));
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// This thread's `(allocations, deallocations)` counted so far. Zero
+/// forever unless the binary installed [`CountingAlloc`].
+pub fn thread_alloc_counts() -> (u64, u64) {
+    (ALLOCS.with(Cell::get), DEALLOCS.with(Cell::get))
+}
+
+/// Runs `f` and returns `(result, allocations, deallocations)` charged to
+/// this thread while it ran.
+pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+    let (a0, d0) = thread_alloc_counts();
+    let result = f();
+    let (a1, d1) = thread_alloc_counts();
+    (result, a1 - a0, d1 - d0)
+}
+
+/// Runs `f`, asserting it performs **zero** heap allocations and zero
+/// deallocations on this thread.
+///
+/// # Panics
+/// Panics (with `label`) if `f` touched the allocator. Meaningful only in
+/// binaries that installed [`CountingAlloc`] — pair with a sanity check
+/// that the counters move at all (see `tests/hot_path_allocs.rs`).
+pub fn assert_no_allocs<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    let (result, allocs, deallocs) = count_allocs(f);
+    assert!(
+        allocs == 0 && deallocs == 0,
+        "{label}: expected an allocation-free hot path, \
+         counted {allocs} allocations and {deallocs} deallocations"
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is NOT installed in this test binary, so the counters
+    // never move — which is itself the documented behaviour.
+    #[test]
+    fn counters_are_inert_without_installation() {
+        let (_, a, d) = count_allocs(|| std::hint::black_box(vec![1u8, 2, 3]));
+        assert_eq!((a, d), (0, 0));
+        assert_no_allocs("inert", || std::hint::black_box(Box::new(7)));
+    }
+}

@@ -1,5 +1,5 @@
-//! **Bitpack kernel trajectory** — unrolled per-width unpack vs the generic
-//! oracle, at every code width 1–32.
+//! **Bitpack kernel trajectory** — generic oracle vs unrolled scalar
+//! kernels vs the AVX2 wide path, at every code width 1–32.
 //!
 //! The PFOR family's LOOP1 is a bitpack unpack; at the paper's target
 //! bandwidths it must run memory-bound. This harness measures, for each
@@ -7,20 +7,24 @@
 //!
 //! * `generic` — [`x100_compress::bitpack::unpack_generic`], the per-value
 //!   shift-computing loop (the property-test oracle);
-//! * `kernel` — [`x100_compress::bitpack::unpack`], the macro-generated
-//!   fully unrolled 32-value-group kernel for that width.
+//! * `scalar` — [`x100_compress::bitpack::unpack`] with the wide path
+//!   forced off: the macro-generated fully unrolled 32-value-group kernel;
+//! * `wide` — the same entry point with the runtime-dispatched AVX2
+//!   kernel allowed (requires `--features simd` *and* AVX2; otherwise it
+//!   is the scalar path again and the two columns coincide).
 //!
-//! Outputs are asserted identical before anything is timed. Results go to
-//! stdout as a table and to `BENCH_bitpack.json` as a machine-readable
-//! trajectory (GB/s of decoded output, best-of-trials), so future PRs have
-//! a perf baseline to diff against.
+//! Outputs are asserted identical — across all three paths — before
+//! anything is timed. Results go to stdout as a table and to
+//! `BENCH_bitpack.json` as a machine-readable trajectory (GB/s of decoded
+//! output, best-of-trials), so future PRs have a perf baseline to diff
+//! against.
 //!
 //! Usage: `bench_bitpack [num_values]` (default 262144)
 
 use std::time::Instant;
 
 use x100_bench::{write_trajectory, Json, TablePrinter};
-use x100_compress::bitpack;
+use x100_compress::{bitpack, simd_active, simd_force_scalar};
 
 /// Timing trials per width; best-of is reported to suppress scheduler noise.
 const TRIALS: usize = 7;
@@ -45,10 +49,26 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
 
-    println!("Bitpack unpack throughput: unrolled kernels vs generic oracle ({n} values)\n");
-    let mut table = TablePrinter::new(&["width", "generic GB/s", "kernel GB/s", "speedup"]);
+    let wide_live = simd_active();
+    println!(
+        "Bitpack unpack throughput ({n} values); wide (AVX2) path {}\n",
+        if wide_live {
+            "ACTIVE"
+        } else {
+            "inactive - scalar fallback"
+        }
+    );
+    let mut table = TablePrinter::new(&[
+        "width",
+        "generic GB/s",
+        "scalar GB/s",
+        "wide GB/s",
+        "scalar/generic",
+        "wide/scalar",
+    ]);
     let mut records = Vec::new();
     let mut min_speedup = f64::MAX;
+    let mut wide_wins = 0usize;
 
     for b in 1..=bitpack::MAX_WIDTH {
         // Deterministic values exercising the full code range of the width.
@@ -64,44 +84,75 @@ fn main() {
             .collect();
         let packed = bitpack::pack(&values, b);
 
-        // Correctness gate: identical outputs or no measurement.
-        let (mut fast, mut oracle) = (Vec::new(), Vec::new());
-        bitpack::unpack(&packed, n, b, &mut fast);
+        // Correctness gate: identical outputs on all paths or no
+        // measurement.
+        let (mut wide_out, mut scalar_out, mut oracle) = (Vec::new(), Vec::new(), Vec::new());
+        simd_force_scalar(false);
+        bitpack::unpack(&packed, n, b, &mut wide_out);
+        simd_force_scalar(true);
+        bitpack::unpack(&packed, n, b, &mut scalar_out);
         bitpack::unpack_generic(&packed, n, b, &mut oracle);
-        assert_eq!(fast, oracle, "kernel and oracle disagree at width {b}");
-        assert_eq!(fast, values, "roundtrip failed at width {b}");
+        assert_eq!(
+            wide_out, oracle,
+            "wide path and oracle disagree at width {b}"
+        );
+        assert_eq!(
+            scalar_out, oracle,
+            "scalar kernel and oracle disagree at width {b}"
+        );
+        assert_eq!(wide_out, values, "roundtrip failed at width {b}");
 
         let mut out = Vec::new();
+        simd_force_scalar(true);
         let generic = throughput_gbps(n, || bitpack::unpack_generic(&packed, n, b, &mut out));
-        let kernel = throughput_gbps(n, || bitpack::unpack(&packed, n, b, &mut out));
-        let speedup = kernel / generic;
+        let scalar = throughput_gbps(n, || bitpack::unpack(&packed, n, b, &mut out));
+        simd_force_scalar(false);
+        let wide = throughput_gbps(n, || bitpack::unpack(&packed, n, b, &mut out));
+
+        let speedup = scalar / generic;
+        let wide_speedup = wide / scalar;
         min_speedup = min_speedup.min(speedup);
+        if wide_speedup >= 1.2 {
+            wide_wins += 1;
+        }
 
         table.push_row(vec![
             b.to_string(),
             format!("{generic:.2}"),
-            format!("{kernel:.2}"),
+            format!("{scalar:.2}"),
+            format!("{wide:.2}"),
             format!("{speedup:.2}x"),
+            format!("{wide_speedup:.2}x"),
         ]);
         records.push(Json::obj(vec![
             ("width", Json::Num(f64::from(b))),
             ("generic_gbps", Json::Num(generic)),
-            ("kernel_gbps", Json::Num(kernel)),
+            ("kernel_gbps", Json::Num(scalar)),
+            ("wide_gbps", Json::Num(wide)),
             ("speedup", Json::Num(speedup)),
+            ("wide_speedup", Json::Num(wide_speedup)),
         ]));
     }
 
     print!("{}", table.render());
     println!(
-        "\nMinimum speedup across widths: {min_speedup:.2}x \
+        "\nMinimum scalar/generic speedup across widths: {min_speedup:.2}x \
          (kernels must beat the generic path everywhere)"
     );
+    if wide_live {
+        println!(
+            "Wide kernel at least 1.2x over scalar at {wide_wins}/{} widths",
+            bitpack::MAX_WIDTH
+        );
+    }
 
     let doc = Json::obj(vec![
         ("bench", Json::str("bitpack_unpack")),
         ("num_values", Json::Num(n as f64)),
         ("trials", Json::Num(TRIALS as f64)),
+        ("simd_active", Json::Bool(wide_live)),
         ("min_speedup", Json::Num(min_speedup)),
+        ("wide_widths_over_1_2x", Json::Num(wide_wins as f64)),
         ("widths", Json::Arr(records)),
     ]);
     write_trajectory("BENCH_bitpack.json", &doc).expect("write BENCH_bitpack.json");

@@ -6,6 +6,7 @@
 //! handling ([`mod@cli`]), `BENCH_*.json` trajectory emission
 //! ([`mod@json`]), and small formatting helpers.
 
+pub mod alloc;
 pub mod cli;
 pub mod json;
 pub mod reference;

@@ -48,6 +48,7 @@ mod patch;
 pub mod pdict;
 pub mod pfor;
 pub mod pfor_delta;
+pub mod simd;
 
 pub use block::{Codec, CompressedBlock, BLOCK_MAGIC};
 pub use branch::TwoBitPredictor;
@@ -56,6 +57,7 @@ pub use patch::{EntryPoint, ENTRY_POINT_STRIDE, NO_EXCEPTION};
 pub use pdict::PdictBlock;
 pub use pfor::PforBlock;
 pub use pfor_delta::PforDeltaBlock;
+pub use simd::{simd_active, simd_available, simd_force_scalar};
 
 use std::fmt;
 

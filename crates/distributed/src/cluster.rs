@@ -16,24 +16,48 @@ use std::time::Instant;
 
 use x100_corpus::{CollectionStream, CollectionTail, SyntheticCollection};
 use x100_ir::{
-    IndexConfig, InvertedIndex, QueryEngine, SearchStrategy, SegmentError, SpillConfig, SpillError,
-    SpillStats, SpillingIndexBuilder, StreamingIndexBuilder,
+    ExecError, HitsResponse, IndexConfig, InvertedIndex, QueryEngine, ScratchPool, SearchStrategy,
+    SegmentError, SpillConfig, SpillError, SpillStats, SpillingIndexBuilder, StreamingIndexBuilder,
 };
 use x100_storage::{BufferManager, BufferMode, DiskModel, IoStats};
 
 use crate::partition::{partition_collection, Partition};
 
-/// One node: partition index + local→global mapping + persistent buffers.
+/// One node: partition index + local→global mapping + persistent buffers
+/// + a pool of reusable query scratch arenas.
 pub struct Node {
     index: InvertedIndex,
     global_ids: Vec<u32>,
     buffers: Arc<BufferManager>,
+    scratch: ScratchPool,
 }
 
 impl Node {
     /// A fresh engine over this node's index and persistent buffer pool.
     pub fn engine(&self) -> QueryEngine<'_> {
         QueryEngine::with_buffer_manager(&self.index, self.buffers.clone())
+    }
+
+    /// The node-local allocation-free search: runs the fused scratch-arena
+    /// path over this node's index, filling `out` (cleared first) with up
+    /// to `n` **node-local** `(docid, score)` hits, best first. The arena
+    /// comes from the node's [`ScratchPool`], so steady-state calls are
+    /// heap-allocation-free and concurrent callers never serialize.
+    /// Callers translate docids with [`Self::global_id`] as they consume
+    /// the hits.
+    pub fn search_hits_into(
+        &self,
+        terms: &[u32],
+        strategy: SearchStrategy,
+        n: usize,
+        out: &mut Vec<(u32, f32)>,
+    ) -> Result<HitsResponse, ExecError> {
+        let mut scratch = self.scratch.acquire();
+        let result = self
+            .engine()
+            .search_hits_into(terms, strategy, n, &mut scratch, out);
+        self.scratch.release(scratch);
+        result
     }
 
     /// The node's index.
@@ -129,6 +153,7 @@ impl SimulatedCluster {
                         index,
                         global_ids,
                         buffers,
+                        scratch: ScratchPool::new(),
                     }
                 },
             )
@@ -250,6 +275,7 @@ impl SimulatedCluster {
                     index,
                     global_ids,
                     buffers,
+                    scratch: ScratchPool::new(),
                 }
             })
             .collect();
@@ -347,7 +373,10 @@ impl SimulatedCluster {
     ) -> (Vec<MergedResult>, NodeTiming) {
         let started = Instant::now();
         let engine = node.engine();
-        let (results, cpu_time, io, passes) = match engine.search(terms, strategy, n) {
+        let mut scratch = node.scratch.acquire();
+        let searched = engine.search_with_scratch(terms, strategy, n, &mut scratch);
+        node.scratch.release(scratch);
+        let (results, cpu_time, io, passes) = match searched {
             Ok(resp) => {
                 let hits = resp
                     .results

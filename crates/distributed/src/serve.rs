@@ -355,13 +355,18 @@ pub trait QueryService: Send + Sync {
 
 impl QueryService for QueryExecutor {
     fn execute(&self, terms: &[u32], strategy: SearchStrategy, n: usize) -> ServedQuery {
-        let resp = self
-            .search(terms, strategy, n)
+        // The fused scratch-arena path: the one allocation per served
+        // query is the hits vector handed back in `ServedQuery` (the
+        // executor's arena itself is reused, warm queries run
+        // allocation-free up to this point).
+        let mut hits = Vec::with_capacity(n);
+        let meta = self
+            .search_hits_into(terms, strategy, n, &mut hits)
             .expect("serving path: query plan failed");
         ServedQuery {
-            hits: resp.results.iter().map(|r| (r.docid, r.score)).collect(),
-            io_time: resp.io.sim_time,
-            passes: resp.passes,
+            hits,
+            io_time: meta.io.sim_time,
+            passes: meta.passes,
         }
     }
 

@@ -29,6 +29,7 @@ use x100_storage::{BufferManager, BufferMode, DiskModel, IoStats};
 use x100_vector::VectorSize;
 
 use crate::bm25::idf;
+use crate::hot::QueryScratch;
 use crate::index::{InvertedIndex, Materialize};
 
 /// The search strategies of the Table 2 ladder (compression excluded — that
@@ -95,6 +96,19 @@ pub struct SearchResponse {
     /// Wall-clock execution time. Excludes *accounted* simulated I/O, but
     /// includes the real sleeps a pool built with
     /// `BufferManager::with_simulated_miss_latency` enacts on misses.
+    pub cpu_time: Duration,
+}
+
+/// Accounting for a scratch-path search that returns raw `(docid, score)`
+/// hits instead of materializing named results: the [`SearchResponse`]
+/// metadata without its allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitsResponse {
+    /// 1 or 2, as in [`SearchResponse::passes`].
+    pub passes: u8,
+    /// Simulated I/O delta, as in [`SearchResponse::io`].
+    pub io: IoStats,
+    /// Wall-clock execution time, as in [`SearchResponse::cpu_time`].
     pub cpu_time: Duration,
 }
 
@@ -236,6 +250,74 @@ impl<'a> QueryEngine<'a> {
             .collect();
         Ok(SearchResponse {
             results,
+            passes,
+            io,
+            cpu_time,
+        })
+    }
+
+    /// Runs one query through the fused allocation-free path
+    /// ([`crate::hot`]), reusing the caller's scratch arena, and
+    /// materializes a full [`SearchResponse`] (names included — this
+    /// variant allocates for the response itself; serving workers that
+    /// only need docids should use [`Self::search_hits_into`]).
+    ///
+    /// Bit-identical to [`Self::search`] for every strategy.
+    pub fn search_with_scratch(
+        &self,
+        term_ids: &[u32],
+        strategy: SearchStrategy,
+        n: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<SearchResponse, ExecError> {
+        let mut hits = std::mem::take(&mut scratch.hits);
+        let meta = self.search_hits_into(term_ids, strategy, n, scratch, &mut hits);
+        let results = hits
+            .iter()
+            .map(|&(docid, score)| SearchResult {
+                docid,
+                score,
+                name: self.index.doc_name(docid).unwrap_or_default().to_owned(),
+            })
+            .collect();
+        scratch.hits = hits;
+        let meta = meta?;
+        Ok(SearchResponse {
+            results,
+            passes: meta.passes,
+            io: meta.io,
+            cpu_time: meta.cpu_time,
+        })
+    }
+
+    /// The allocation-free core: runs one query through the fused path,
+    /// filling `out` (cleared first) with up to `n` `(docid, score)` hits,
+    /// best first. Steady state (scratch and `out` grown by a warmup
+    /// query) performs zero heap allocations — pinned by
+    /// `tests/hot_path_allocs.rs`.
+    pub fn search_hits_into(
+        &self,
+        term_ids: &[u32],
+        strategy: SearchStrategy,
+        n: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<(u32, f32)>,
+    ) -> Result<HitsResponse, ExecError> {
+        let io_before = self.buffers.stats();
+        let started = Instant::now();
+        let passes = crate::hot::search_into(
+            self.index,
+            &self.buffers,
+            self.vector_size,
+            term_ids,
+            strategy,
+            n,
+            scratch,
+            out,
+        )?;
+        let cpu_time = started.elapsed();
+        let io = self.buffers.stats().delta_since(&io_before);
+        Ok(HitsResponse {
             passes,
             io,
             cpu_time,

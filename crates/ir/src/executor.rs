@@ -3,10 +3,13 @@
 //! [`crate::QueryEngine`] borrows its index, which is the right shape for
 //! single-threaded experiments but awkward to hand to a worker pool. A
 //! [`QueryExecutor`] owns `Arc` handles to the index and the buffer
-//! manager instead: cloning one is two reference-count bumps, every query
-//! method takes `&self`, and the type is statically `Send + Sync` — so a
-//! serving layer clones one executor per worker thread and all workers
-//! share a single RAM-resident index and one (lock-striped) buffer pool.
+//! manager instead: cloning one is two reference-count bumps plus an
+//! empty scratch arena, every query method takes `&self`, and the type is
+//! statically `Send + Sync` — so a serving layer clones one executor per
+//! worker thread and all workers share a single RAM-resident index and
+//! one (lock-striped) buffer pool, while each keeps a private
+//! [`crate::QueryScratch`] arena that makes its steady-state queries
+//! allocation-free.
 //!
 //! The execution vector size is fixed at construction (builder-style
 //! [`QueryExecutor::with_vector_size`]); there is deliberately no `&mut`
@@ -38,27 +41,45 @@
 //! # let _ = responses.pop();
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use x100_exec::ExecError;
 use x100_storage::{BufferManager, BufferMode, DiskModel};
 use x100_vector::VectorSize;
 
-use crate::engine::{QueryEngine, SearchResponse, SearchResult, SearchStrategy};
+use crate::engine::{HitsResponse, QueryEngine, SearchResponse, SearchResult, SearchStrategy};
+use crate::hot::QueryScratch;
 use crate::index::InvertedIndex;
 
 /// A cheaply clonable, thread-shareable query executor: `Arc`-owned index
-/// and buffer pool plus an immutable execution configuration.
+/// and buffer pool, an immutable execution configuration, and an owned
+/// [`QueryScratch`] arena reused across this executor's queries.
 ///
-/// Each call to a query method builds its per-query operator state (plan,
-/// scan cursors, decode scratch) on the executor's stack via a short-lived
-/// [`QueryEngine`], so concurrent queries on clones never share mutable
-/// state — only the index (read-only) and the lock-striped buffer manager.
-#[derive(Clone)]
+/// Query methods run the fused allocation-free path ([`crate::hot`]) over
+/// the scratch arena: buffers are cleared — not freed — between queries,
+/// so a warmed executor answers queries without touching the allocator.
+/// The arena sits behind a mutex so `&self` query methods stay safe to
+/// share, but the intended shape is one *clone* per worker (cloning gives
+/// each worker its own arena; the index and the lock-striped buffer pool
+/// stay shared), keeping that mutex uncontended.
 pub struct QueryExecutor {
     index: Arc<InvertedIndex>,
     buffers: Arc<BufferManager>,
     vector_size: usize,
+    scratch: Mutex<QueryScratch>,
+}
+
+impl Clone for QueryExecutor {
+    /// Two reference-count bumps plus a fresh (empty) scratch arena — the
+    /// arena is per-executor working state, never shared by clones.
+    fn clone(&self) -> Self {
+        QueryExecutor {
+            index: Arc::clone(&self.index),
+            buffers: Arc::clone(&self.buffers),
+            vector_size: self.vector_size,
+            scratch: Mutex::new(QueryScratch::new()),
+        }
+    }
 }
 
 // Compile-time guarantees: an executor can be handed to worker threads
@@ -96,6 +117,7 @@ impl QueryExecutor {
             index,
             buffers,
             vector_size: VectorSize::DEFAULT.get(),
+            scratch: Mutex::new(QueryScratch::new()),
         }
     }
 
@@ -131,15 +153,46 @@ impl QueryExecutor {
             .with_vector_size(self.vector_size)
     }
 
-    /// Runs one query: term ids in, ranked top-`n` out. See
-    /// [`QueryEngine::search`].
+    /// Runs one query: term ids in, ranked top-`n` out. Same response
+    /// shape and bit-identical results as [`QueryEngine::search`], served
+    /// by the fused scratch-arena path (the relational engine remains the
+    /// differential oracle).
     pub fn search(
         &self,
         term_ids: &[u32],
         strategy: SearchStrategy,
         n: usize,
     ) -> Result<SearchResponse, ExecError> {
-        self.engine().search(term_ids, strategy, n)
+        let mut scratch = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        self.engine()
+            .search_with_scratch(term_ids, strategy, n, &mut scratch)
+    }
+
+    /// The allocation-free query API for serving workers: fills `out`
+    /// (cleared first) with up to `n` `(docid, score)` hits, best first,
+    /// reusing this executor's scratch arena. After a warmup query has
+    /// grown the arena, a call performs zero heap allocations. See
+    /// [`QueryEngine::search_hits_into`].
+    pub fn search_hits_into(
+        &self,
+        term_ids: &[u32],
+        strategy: SearchStrategy,
+        n: usize,
+        out: &mut Vec<(u32, f32)>,
+    ) -> Result<HitsResponse, ExecError> {
+        let mut scratch = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        self.engine()
+            .search_hits_into(term_ids, strategy, n, &mut scratch, out)
+    }
+
+    /// Test hook: overwrites the executor's scratch arena with
+    /// seed-derived garbage (see [`QueryScratch::poison`]). Queries must
+    /// produce bit-identical results regardless.
+    pub fn poison_scratch(&self, seed: u64) {
+        self.scratch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .poison(seed);
     }
 
     /// Convenience: search by term strings, returning just the hits. See

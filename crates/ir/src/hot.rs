@@ -1,0 +1,988 @@
+//! Allocation-free fused query execution over a reusable scratch arena.
+//!
+//! The relational path ([`crate::QueryEngine::search`]) builds a fresh
+//! operator tree per query — scans, joins, projections, TopN — each with
+//! its own staging buffers. That is the right shape for demonstrating the
+//! paper's plans, but a serving worker answering thousands of queries per
+//! second spends a measurable slice of its time in the allocator, and
+//! allocator traffic is exactly the kind of per-tuple overhead §2 of the
+//! paper rails against.
+//!
+//! This module is the serving hot path: a [`QueryScratch`] owns every
+//! buffer a query needs (posting-cursor windows, batch score arrays, the
+//! top-k heap, term/coefficient tables), *cleared — not freed — between
+//! queries*. After a warmup query has grown the buffers to their
+//! steady-state sizes, executing a query performs **zero heap
+//! allocations** (pinned by `tests/hot_path_allocs.rs`).
+//!
+//! Results are bit-identical to the relational path for all six
+//! [`SearchStrategy`] rungs; `tests/scratch_differential.rs` holds the two
+//! paths against each other property-style, including after deliberately
+//! corrupting the scratch with [`QueryScratch::poison`]. The equivalence
+//! rests on three replicated contracts:
+//!
+//! * **Scoring arithmetic** — the exact expression shape the relational
+//!   plan evaluates (`coef * (tf / (tf + norm))` folded left-to-right,
+//!   absent outer-join terms contributing `tf = 0`), in plain IEEE f32
+//!   with no FMA contraction, so every intermediate rounds identically.
+//! * **Top-k selection** — a replica of `TopN`'s bounded heap including
+//!   its IEEE `score <= min` cheap-reject (*not* equivalent to
+//!   sort-then-truncate when `+0.0`/`-0.0` tie at the boundary) and its
+//!   arrival-order tie-break.
+//! * **Buffer accounting** — cursors refill entry-point-aligned windows
+//!   clamped to block boundaries and charge [`BufferManager::touch`] once
+//!   per block entry, exactly like `ColumnScan`.
+//!
+//! When the `simd` feature is enabled and the CPU has AVX2, the per-term
+//! scoring loop over each candidate batch runs 8 lanes wide; conversion
+//! (`i32 -> f32`), divide, multiply and add are all IEEE-exact operations,
+//! so the wide kernels are bit-identical to the scalar loop (pinned by
+//! `tests/scratch_differential.rs` against the forced-scalar fallback).
+
+use std::ops::Range;
+
+use x100_compress::ENTRY_POINT_STRIDE;
+use x100_exec::ExecError;
+use x100_storage::{BufferManager, Column};
+
+use crate::bm25::idf;
+use crate::engine::SearchStrategy;
+use crate::index::{InvertedIndex, Materialize};
+
+/// A staged window of one column: decompressed values covering
+/// `[start, start + stage.len())`, plus the block the cursor currently
+/// pins (charged to the buffer manager on entry, not on every refill).
+///
+/// The refill math mirrors `ColumnScan::refill` exactly: start at the
+/// entry point at or below the read position, span enough strides to cover
+/// one vector, clamp to the block end. Staying inside one block keeps
+/// buffer accounting per block honest *and* keeps `Column::read_range` on
+/// its single-block path, which decodes into the reused buffer without
+/// allocating.
+#[derive(Debug, Default)]
+struct Window {
+    stage: Vec<u32>,
+    start: usize,
+    pinned_block: Option<usize>,
+}
+
+impl Window {
+    /// Forgets staged data and the block pin, keeping the buffer capacity.
+    fn invalidate(&mut self) {
+        self.stage.clear();
+        self.start = usize::MAX;
+        self.pinned_block = None;
+    }
+
+    /// The value at absolute position `pos`, refilling the window if `pos`
+    /// is not staged.
+    fn value_at(
+        &mut self,
+        col: &Column,
+        buffers: &BufferManager,
+        vector_size: usize,
+        pos: usize,
+    ) -> Result<u32, ExecError> {
+        // `start` may be the usize::MAX sentinel; wrapping keeps the
+        // in-range check branchless and correct (a huge offset misses).
+        let off = pos.wrapping_sub(self.start);
+        if off < self.stage.len() {
+            return Ok(self.stage[off]);
+        }
+        let aligned = pos - pos % ENTRY_POINT_STRIDE;
+        let block_size = col.block_size();
+        let block_idx = aligned / block_size;
+        let block_end = ((block_idx + 1) * block_size).min(col.len());
+        let want_end = (pos + vector_size)
+            .next_multiple_of(ENTRY_POINT_STRIDE)
+            .min(block_end);
+        if self.pinned_block != Some(block_idx) {
+            buffers.touch(col, block_idx);
+            self.pinned_block = Some(block_idx);
+        }
+        col.read_range(aligned, want_end - aligned, &mut self.stage)
+            .map_err(ExecError::from)?;
+        self.start = aligned;
+        Ok(self.stage[pos - aligned])
+    }
+}
+
+/// A reusable cursor over one term's posting range in the TD table:
+/// current docid plus lazily windowed access to the payload column.
+#[derive(Debug, Default)]
+struct TermCursor {
+    /// Absolute TD row bounds of this term's postings.
+    end: usize,
+    /// Absolute TD row of the current posting.
+    pos: usize,
+    /// Current docid, `None` once the range is exhausted.
+    cur: Option<u32>,
+    doc: Window,
+    pay: Window,
+}
+
+impl TermCursor {
+    /// Re-aims the cursor at a term range, invalidating staged data (but
+    /// keeping buffer capacity) and loading the first docid.
+    fn reset(
+        &mut self,
+        range: Range<usize>,
+        doc_col: &Column,
+        buffers: &BufferManager,
+        vector_size: usize,
+    ) -> Result<(), ExecError> {
+        self.pos = range.start;
+        self.end = range.end;
+        self.doc.invalidate();
+        self.pay.invalidate();
+        self.load(doc_col, buffers, vector_size)
+    }
+
+    fn load(
+        &mut self,
+        doc_col: &Column,
+        buffers: &BufferManager,
+        vector_size: usize,
+    ) -> Result<(), ExecError> {
+        self.cur = if self.pos < self.end {
+            Some(self.doc.value_at(doc_col, buffers, vector_size, self.pos)?)
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    fn advance(
+        &mut self,
+        doc_col: &Column,
+        buffers: &BufferManager,
+        vector_size: usize,
+    ) -> Result<(), ExecError> {
+        self.pos += 1;
+        self.load(doc_col, buffers, vector_size)
+    }
+
+    /// The payload (tf or materialized score code) of the current posting.
+    fn payload(
+        &mut self,
+        pay_col: &Column,
+        buffers: &BufferManager,
+        vector_size: usize,
+    ) -> Result<u32, ExecError> {
+        self.pay.value_at(pay_col, buffers, vector_size, self.pos)
+    }
+}
+
+/// One retained top-k row: replica of `TopN`'s `HeapRow`. `seq` is the
+/// 1-based arrival index among all candidate rows; the heap order is
+/// `(score ascending by total_cmp, then *later* arrival first)`, so the
+/// root is the row the next better candidate displaces.
+#[derive(Debug, Clone, Copy, Default)]
+struct HeapRow {
+    score: f32,
+    seq: u64,
+    docid: u32,
+}
+
+/// `TopN`'s `HeapRow` ordering: ascending score (total order), ties broken
+/// so the *later* arrival compares smaller (and is evicted first).
+fn row_lt(a: &HeapRow, b: &HeapRow) -> bool {
+    a.score
+        .total_cmp(&b.score)
+        .then_with(|| b.seq.cmp(&a.seq))
+        .is_lt()
+}
+
+fn sift_up(heap: &mut [HeapRow], mut i: usize) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if row_lt(&heap[i], &heap[parent]) {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn sift_down(heap: &mut [HeapRow], mut i: usize) {
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        if l < heap.len() && row_lt(&heap[l], &heap[smallest]) {
+            smallest = l;
+        }
+        if r < heap.len() && row_lt(&heap[r], &heap[smallest]) {
+            smallest = r;
+        }
+        if smallest == i {
+            return;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+}
+
+/// Offers one candidate row to the bounded min-heap, replicating `TopN`
+/// exactly: a full heap cheap-rejects on IEEE `score <= root.score` (ties
+/// keep the incumbent — and `+0.0` does *not* displace a `-0.0` root,
+/// although it is total-order greater); otherwise push, then evict the
+/// total-order minimum.
+fn heap_offer(heap: &mut Vec<HeapRow>, n: usize, row: HeapRow) {
+    if n == 0 {
+        return;
+    }
+    if heap.len() == n && row.score <= heap[0].score {
+        return;
+    }
+    heap.push(row);
+    let last = heap.len() - 1;
+    sift_up(heap, last);
+    if heap.len() > n {
+        let last = heap.len() - 1;
+        heap.swap(0, last);
+        heap.pop();
+        sift_down(heap, 0);
+    }
+}
+
+/// How candidate batches are scored.
+#[derive(Debug, Clone, Copy)]
+enum ScoreMode {
+    /// Equation-2 BM25 from tf and document length at query time.
+    Computed {
+        /// `k1 * (1 - b)` — the constant part of the length normalizer.
+        c0: f32,
+        /// `k1 * b / avg_doc_len` — the per-length part.
+        c1: f32,
+    },
+    /// Materialized f32 scores stored bit-cast in the payload column.
+    MaterializedF32,
+    /// Materialized quantized codes summed as small floats.
+    MaterializedQ8,
+}
+
+/// Owned, reusable per-worker scratch for the fused query path.
+///
+/// Grown on first use, cleared — never freed — between queries: steady
+/// state executes without touching the allocator. Construction is cheap
+/// (all buffers start empty); each serving worker owns one, typically
+/// behind the executor's internal mutex.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Query terms after dropping unknown/empty ones (duplicates kept,
+    /// matching the relational path).
+    terms: Vec<u32>,
+    /// Per-term `idf * (k1 + 1)` constants (computed-BM25 modes).
+    coefs: Vec<f32>,
+    cursors: Vec<TermCursor>,
+    /// Candidate docids of the batch being assembled.
+    batch_docids: Vec<u32>,
+    /// Term-major payload matrix: `payloads[t * vector_size + j]` is term
+    /// `t`'s payload for batch row `j`, 0 where the term is absent (the
+    /// outer join's missing-side convention).
+    batch_payloads: Vec<u32>,
+    /// Per-row length normalizers for the batch.
+    norms: Vec<f32>,
+    /// Per-row accumulated scores for the batch.
+    scores: Vec<f32>,
+    /// The bounded top-k heap.
+    heap: Vec<HeapRow>,
+    /// Hit staging for callers that materialize full responses.
+    pub(crate) hits: Vec<(u32, f32)>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Test hook: overwrites every buffer — staged column windows, batch
+    /// arrays, heap, term tables, cursor positions and block pins — with
+    /// garbage derived from `seed`. A subsequent query must produce
+    /// bit-identical results anyway: correctness may depend only on state
+    /// the query itself (re)initializes, never on leftovers.
+    pub fn poison(&mut self, seed: u64) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        fn refill_u32(v: &mut Vec<u32>, next: &mut impl FnMut() -> u64) {
+            let cap = v.capacity();
+            v.clear();
+            for _ in 0..cap {
+                v.push(next() as u32);
+            }
+        }
+        fn refill_f32(v: &mut Vec<f32>, next: &mut impl FnMut() -> u64) {
+            let cap = v.capacity();
+            v.clear();
+            for _ in 0..cap {
+                // Includes NaNs, infinities and negative zeros.
+                v.push(f32::from_bits(next() as u32));
+            }
+        }
+        refill_u32(&mut self.terms, &mut next);
+        refill_f32(&mut self.coefs, &mut next);
+        refill_u32(&mut self.batch_docids, &mut next);
+        refill_u32(&mut self.batch_payloads, &mut next);
+        refill_f32(&mut self.norms, &mut next);
+        refill_f32(&mut self.scores, &mut next);
+        let heap_cap = self.heap.capacity();
+        self.heap.clear();
+        for _ in 0..heap_cap {
+            self.heap.push(HeapRow {
+                score: f32::from_bits(next() as u32),
+                seq: next(),
+                docid: next() as u32,
+            });
+        }
+        let hits_cap = self.hits.capacity();
+        self.hits.clear();
+        for _ in 0..hits_cap {
+            self.hits
+                .push((next() as u32, f32::from_bits(next() as u32)));
+        }
+        for c in &mut self.cursors {
+            c.pos = next() as usize;
+            c.end = next() as usize;
+            c.cur = Some(next() as u32);
+            for w in [&mut c.doc, &mut c.pay] {
+                refill_u32(&mut w.stage, &mut next);
+                w.start = next() as usize;
+                w.pinned_block = Some(next() as usize);
+            }
+        }
+    }
+}
+
+/// A pool of [`QueryScratch`] arenas for callers serving one shared
+/// resource (e.g. a cluster node) from many threads at once.
+///
+/// [`Self::acquire`] pops a warmed arena or hands out a fresh empty one —
+/// constructing an empty scratch does not allocate; its buffers grow
+/// during the query it serves — and [`Self::release`] returns it. The
+/// pool's high-water mark is the peak concurrency it ever saw, after
+/// which acquire/release cycles are two short mutex sections and zero
+/// heap traffic. Unlike a single mutex-guarded arena, concurrent queries
+/// never serialize on each other: each gets its own arena.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: std::sync::Mutex<Vec<QueryScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pops a pooled arena, or a fresh empty one when all are in use.
+    pub fn acquire(&self) -> QueryScratch {
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an arena to the pool for the next query.
+    pub fn release(&self, scratch: QueryScratch) {
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(scratch);
+    }
+}
+
+/// Runs one query through the fused path, appending up to `n`
+/// `(docid, score)` hits to `out` (cleared first), best first. Returns the
+/// number of passes (2 only when a two-pass strategy fell through to the
+/// disjunctive plan). Bit-identical to [`crate::QueryEngine::search`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search_into(
+    index: &InvertedIndex,
+    buffers: &BufferManager,
+    vector_size: usize,
+    term_ids: &[u32],
+    strategy: SearchStrategy,
+    n: usize,
+    scratch: &mut QueryScratch,
+    out: &mut Vec<(u32, f32)>,
+) -> Result<u8, ExecError> {
+    out.clear();
+    if strategy.needs_materialized() && !index.has_materialized_scores() {
+        return Err(ExecError::Plan(
+            "strategy requires a materialized score column; build the index \
+             with Materialize::F32 or Materialize::Quantized8"
+                .into(),
+        ));
+    }
+    scratch.terms.clear();
+    for &t in term_ids {
+        if !index.term_range(t).is_empty() {
+            scratch.terms.push(t);
+        }
+    }
+    let k = scratch.terms.len();
+    if k == 0 {
+        return Ok(1);
+    }
+    while scratch.cursors.len() < k {
+        scratch.cursors.push(TermCursor::default());
+    }
+
+    let td = index.td();
+    let doc_col = td.column("docid").map_err(ExecError::from)?;
+    let mut passes = 1u8;
+    match strategy {
+        SearchStrategy::BoolAnd | SearchStrategy::BoolOr => {
+            reset_cursors(index, buffers, vector_size, scratch, doc_col)?;
+            run_boolean(
+                buffers,
+                vector_size,
+                doc_col,
+                &mut scratch.cursors[..k],
+                strategy == SearchStrategy::BoolAnd,
+                n,
+                out,
+            )?;
+        }
+        _ => {
+            let materialized = strategy.needs_materialized();
+            let mode = score_mode(index, &scratch.terms, &mut scratch.coefs, materialized);
+            let pay_col = td
+                .column(if materialized { "score" } else { "tf" })
+                .map_err(ExecError::from)?;
+            let two_pass = strategy.is_two_pass();
+            // Single-pass strategies run the disjunctive plan directly;
+            // two-pass tries conjunctive first (§3.3).
+            reset_cursors(index, buffers, vector_size, scratch, doc_col)?;
+            let matched = run_ranked(
+                index,
+                buffers,
+                vector_size,
+                doc_col,
+                pay_col,
+                scratch,
+                mode,
+                two_pass,
+                n,
+            )?;
+            if two_pass && (matched as usize) < n && k > 1 {
+                passes = 2;
+                reset_cursors(index, buffers, vector_size, scratch, doc_col)?;
+                run_ranked(
+                    index,
+                    buffers,
+                    vector_size,
+                    doc_col,
+                    pay_col,
+                    scratch,
+                    mode,
+                    false,
+                    n,
+                )?;
+            }
+            drain_heap(&mut scratch.heap, out);
+        }
+    }
+    out.truncate(n);
+    Ok(passes)
+}
+
+/// Re-aims the first `terms.len()` cursors at their term ranges.
+fn reset_cursors(
+    index: &InvertedIndex,
+    buffers: &BufferManager,
+    vector_size: usize,
+    scratch: &mut QueryScratch,
+    doc_col: &Column,
+) -> Result<(), ExecError> {
+    for (i, &t) in scratch.terms.iter().enumerate() {
+        scratch.cursors[i].reset(index.term_range(t), doc_col, buffers, vector_size)?;
+    }
+    Ok(())
+}
+
+/// Resolves the scoring mode, filling per-term coefficients for the
+/// computed variant (folded into the plan as constants relationally).
+fn score_mode(
+    index: &InvertedIndex,
+    terms: &[u32],
+    coefs: &mut Vec<f32>,
+    materialized: bool,
+) -> ScoreMode {
+    if materialized {
+        return match index.config().materialize {
+            Materialize::F32 => ScoreMode::MaterializedF32,
+            Materialize::Quantized8 | Materialize::None => ScoreMode::MaterializedQ8,
+        };
+    }
+    let params = index.config().params;
+    let stats = index.stats();
+    coefs.clear();
+    for &t in terms {
+        coefs.push(idf(stats.num_docs, index.doc_freq(t)) * (params.k1 + 1.0));
+    }
+    ScoreMode::Computed {
+        c0: params.k1 * (1.0 - params.b),
+        c1: params.k1 * params.b / stats.avg_doc_len,
+    }
+}
+
+/// Unranked boolean retrieval: k-way docid merge (intersection or union),
+/// emitting `(docid, 0.0)` in docid order with the relational path's
+/// early exit after `n` hits.
+fn run_boolean(
+    buffers: &BufferManager,
+    vector_size: usize,
+    doc_col: &Column,
+    cursors: &mut [TermCursor],
+    conjunctive: bool,
+    n: usize,
+    out: &mut Vec<(u32, f32)>,
+) -> Result<(), ExecError> {
+    if conjunctive {
+        'outer: while let Some(mut target) = cursors[0].cur {
+            let mut i = 1;
+            while i < cursors.len() {
+                while let Some(d) = cursors[i].cur {
+                    if d < target {
+                        cursors[i].advance(doc_col, buffers, vector_size)?;
+                    } else {
+                        break;
+                    }
+                }
+                match cursors[i].cur {
+                    None => break 'outer,
+                    Some(d) if d == target => i += 1,
+                    Some(d) => {
+                        target = d;
+                        i = 0;
+                    }
+                }
+            }
+            out.push((target, 0.0));
+            if out.len() >= n {
+                break;
+            }
+            for c in cursors.iter_mut() {
+                c.advance(doc_col, buffers, vector_size)?;
+            }
+        }
+    } else {
+        loop {
+            let mut m: Option<u32> = None;
+            for c in cursors.iter() {
+                if let Some(d) = c.cur {
+                    m = Some(match m {
+                        None => d,
+                        Some(x) => x.min(d),
+                    });
+                }
+            }
+            let Some(d) = m else { break };
+            for c in cursors.iter_mut() {
+                if c.cur == Some(d) {
+                    c.advance(doc_col, buffers, vector_size)?;
+                }
+            }
+            out.push((d, 0.0));
+            if out.len() >= n {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Ranked retrieval: merges candidate docs (union or intersection) into
+/// batches of `vector_size`, scores each batch with the wide-or-scalar
+/// kernels, and offers every row to the top-k heap. Returns the total
+/// candidate count (the two-pass quota check).
+#[allow(clippy::too_many_arguments)]
+fn run_ranked(
+    index: &InvertedIndex,
+    buffers: &BufferManager,
+    vector_size: usize,
+    doc_col: &Column,
+    pay_col: &Column,
+    scratch: &mut QueryScratch,
+    mode: ScoreMode,
+    conjunctive: bool,
+    n: usize,
+) -> Result<u64, ExecError> {
+    let QueryScratch {
+        terms,
+        coefs,
+        cursors,
+        batch_docids,
+        batch_payloads,
+        norms,
+        scores,
+        heap,
+        ..
+    } = scratch;
+    let k = terms.len();
+    let cursors = &mut cursors[..k];
+    let v = vector_size;
+    heap.clear();
+    batch_docids.clear();
+    if batch_payloads.len() < k * v {
+        batch_payloads.resize(k * v, 0);
+    }
+    batch_payloads[..k * v].fill(0);
+    let doc_lens = index.doc_lens();
+    let mut seq = 0u64;
+
+    macro_rules! flush {
+        () => {
+            flush_batch(
+                mode,
+                coefs,
+                doc_lens,
+                batch_docids,
+                batch_payloads,
+                v,
+                k,
+                norms,
+                scores,
+                heap,
+                n,
+                &mut seq,
+            );
+            batch_docids.clear();
+            batch_payloads[..k * v].fill(0);
+        };
+    }
+
+    if conjunctive {
+        'outer: while let Some(mut target) = cursors[0].cur {
+            let mut i = 1;
+            while i < k {
+                while let Some(d) = cursors[i].cur {
+                    if d < target {
+                        cursors[i].advance(doc_col, buffers, v)?;
+                    } else {
+                        break;
+                    }
+                }
+                match cursors[i].cur {
+                    None => break 'outer,
+                    Some(d) if d == target => i += 1,
+                    Some(d) => {
+                        target = d;
+                        i = 0;
+                    }
+                }
+            }
+            let j = batch_docids.len();
+            batch_docids.push(target);
+            for (i, c) in cursors.iter_mut().enumerate() {
+                batch_payloads[i * v + j] = c.payload(pay_col, buffers, v)?;
+                c.advance(doc_col, buffers, v)?;
+            }
+            if batch_docids.len() == v {
+                flush!();
+            }
+        }
+    } else {
+        loop {
+            let mut m: Option<u32> = None;
+            for c in cursors.iter() {
+                if let Some(d) = c.cur {
+                    m = Some(match m {
+                        None => d,
+                        Some(x) => x.min(d),
+                    });
+                }
+            }
+            let Some(d) = m else { break };
+            let j = batch_docids.len();
+            batch_docids.push(d);
+            for (i, c) in cursors.iter_mut().enumerate() {
+                if c.cur == Some(d) {
+                    batch_payloads[i * v + j] = c.payload(pay_col, buffers, v)?;
+                    c.advance(doc_col, buffers, v)?;
+                }
+            }
+            if batch_docids.len() == v {
+                flush!();
+            }
+        }
+    }
+    flush!();
+    Ok(seq)
+}
+
+/// Scores one assembled batch and offers every row to the heap.
+#[allow(clippy::too_many_arguments)]
+fn flush_batch(
+    mode: ScoreMode,
+    coefs: &[f32],
+    doc_lens: &[i32],
+    batch_docids: &[u32],
+    batch_payloads: &[u32],
+    v: usize,
+    k: usize,
+    norms: &mut Vec<f32>,
+    scores: &mut Vec<f32>,
+    heap: &mut Vec<HeapRow>,
+    n: usize,
+    seq: &mut u64,
+) {
+    let rows = batch_docids.len();
+    if rows == 0 {
+        return;
+    }
+    scores.clear();
+    scores.resize(rows, 0.0);
+    match mode {
+        ScoreMode::Computed { c0, c1 } => {
+            norms.clear();
+            for &d in batch_docids {
+                // Expression shape: c0 + c1 * cast_f32(gather(doclen)).
+                norms.push(c0 + c1 * (doc_lens[d as usize] as f32));
+            }
+            for i in 0..k {
+                score_computed(
+                    scores,
+                    &batch_payloads[i * v..i * v + rows],
+                    coefs[i],
+                    norms,
+                    i == 0,
+                );
+            }
+        }
+        ScoreMode::MaterializedF32 | ScoreMode::MaterializedQ8 => {
+            let f32_bits = matches!(mode, ScoreMode::MaterializedF32);
+            for i in 0..k {
+                score_materialized(
+                    scores,
+                    &batch_payloads[i * v..i * v + rows],
+                    f32_bits,
+                    i == 0,
+                );
+            }
+        }
+    }
+    for (j, &d) in batch_docids.iter().enumerate() {
+        *seq += 1;
+        heap_offer(
+            heap,
+            n,
+            HeapRow {
+                score: scores[j],
+                seq: *seq,
+                docid: d,
+            },
+        );
+    }
+}
+
+/// Sorts the heap's retained rows (descending score, ascending arrival)
+/// and appends them to `out`, leaving the heap cleared.
+fn drain_heap(heap: &mut Vec<HeapRow>, out: &mut Vec<(u32, f32)>) {
+    heap.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.seq.cmp(&b.seq)));
+    out.extend(heap.iter().map(|r| (r.docid, r.score)));
+    heap.clear();
+}
+
+// ---- scoring kernels ----------------------------------------------------
+
+/// One term's contribution to the batch: `acc[j] (op)= coef * (tf / (tf +
+/// norm[j]))` with `tf = cast_f32(payload as i32)`, where `(op)=` is plain
+/// assignment for the first term (the fold has no zero seed). Dispatches
+/// to the AVX2 kernel when active; both paths are IEEE-exact per element,
+/// hence bit-identical.
+fn score_computed(acc: &mut [f32], tfs: &[u32], coef: f32, norms: &[f32], first: bool) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x100_compress::simd_active() {
+        // Safety: `simd_active` implies AVX2 was detected at runtime.
+        unsafe { simd::score_computed_avx2(acc, tfs, coef, norms, first) };
+        return;
+    }
+    score_computed_scalar(acc, tfs, coef, norms, first);
+}
+
+fn score_computed_scalar(acc: &mut [f32], tfs: &[u32], coef: f32, norms: &[f32], first: bool) {
+    for j in 0..acc.len() {
+        let tf = (tfs[j] as i32) as f32;
+        let ts = coef * (tf / (tf + norms[j]));
+        if first {
+            acc[j] = ts;
+        } else {
+            acc[j] += ts;
+        }
+    }
+}
+
+/// One materialized term's contribution: the payload decoded as the plan
+/// decodes it (`f32::from_bits` for F32 indexes, `cast_f32` for quantized
+/// codes), assigned for the first term and summed for the rest.
+fn score_materialized(acc: &mut [f32], payloads: &[u32], f32_bits: bool, first: bool) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x100_compress::simd_active() {
+        // Safety: `simd_active` implies AVX2 was detected at runtime.
+        unsafe { simd::score_materialized_avx2(acc, payloads, f32_bits, first) };
+        return;
+    }
+    score_materialized_scalar(acc, payloads, f32_bits, first);
+}
+
+fn score_materialized_scalar(acc: &mut [f32], payloads: &[u32], f32_bits: bool, first: bool) {
+    for j in 0..acc.len() {
+        let s = if f32_bits {
+            f32::from_bits(payloads[j])
+        } else {
+            (payloads[j] as i32) as f32
+        };
+        if first {
+            acc[j] = s;
+        } else {
+            acc[j] += s;
+        }
+    }
+}
+
+/// AVX2 scoring kernels: 8 candidate rows per iteration, scalar tail.
+/// Every operation used — `cvtepi32_ps`, `div_ps`, `mul_ps`, `add_ps` —
+/// is IEEE-exact, and multiplies/adds are kept separate (no FMA), so the
+/// lanes compute bit-for-bit what the scalar loop computes.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn score_computed_avx2(
+        acc: &mut [f32],
+        tfs: &[u32],
+        coef: f32,
+        norms: &[f32],
+        first: bool,
+    ) {
+        let n8 = acc.len() & !7;
+        let c = _mm256_set1_ps(coef);
+        let mut j = 0;
+        while j < n8 {
+            let tf = _mm256_cvtepi32_ps(_mm256_loadu_si256(tfs.as_ptr().add(j).cast()));
+            let nm = _mm256_loadu_ps(norms.as_ptr().add(j));
+            let ts = _mm256_mul_ps(c, _mm256_div_ps(tf, _mm256_add_ps(tf, nm)));
+            let out = if first {
+                ts
+            } else {
+                _mm256_add_ps(_mm256_loadu_ps(acc.as_ptr().add(j)), ts)
+            };
+            _mm256_storeu_ps(acc.as_mut_ptr().add(j), out);
+            j += 8;
+        }
+        super::score_computed_scalar(&mut acc[n8..], &tfs[n8..], coef, &norms[n8..], first);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn score_materialized_avx2(
+        acc: &mut [f32],
+        payloads: &[u32],
+        f32_bits: bool,
+        first: bool,
+    ) {
+        let n8 = acc.len() & !7;
+        let mut j = 0;
+        while j < n8 {
+            let raw = _mm256_loadu_si256(payloads.as_ptr().add(j).cast());
+            let s = if f32_bits {
+                _mm256_castsi256_ps(raw)
+            } else {
+                _mm256_cvtepi32_ps(raw)
+            };
+            let out = if first {
+                s
+            } else {
+                _mm256_add_ps(_mm256_loadu_ps(acc.as_ptr().add(j)), s)
+            };
+            _mm256_storeu_ps(acc.as_mut_ptr().add(j), out);
+            j += 8;
+        }
+        super::score_materialized_scalar(&mut acc[n8..], &payloads[n8..], f32_bits, first);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_replicates_ieee_cheap_reject_on_signed_zero() {
+        // A -0.0 incumbent at the root must survive a +0.0 challenger:
+        // IEEE `0.0 <= -0.0` is true, so TopN cheap-rejects — even though
+        // total_cmp says +0.0 > -0.0. Sort-then-truncate would differ.
+        let mut heap = Vec::new();
+        heap_offer(
+            &mut heap,
+            1,
+            HeapRow {
+                score: -0.0,
+                seq: 1,
+                docid: 7,
+            },
+        );
+        heap_offer(
+            &mut heap,
+            1,
+            HeapRow {
+                score: 0.0,
+                seq: 2,
+                docid: 9,
+            },
+        );
+        assert_eq!(heap.len(), 1);
+        assert_eq!(heap[0].docid, 7, "+0.0 must not displace a -0.0 incumbent");
+    }
+
+    #[test]
+    fn heap_keeps_earliest_arrivals_on_ties() {
+        let mut heap = Vec::new();
+        for seq in 1..=5 {
+            heap_offer(
+                &mut heap,
+                2,
+                HeapRow {
+                    score: 1.0,
+                    seq,
+                    docid: seq as u32,
+                },
+            );
+        }
+        let mut out = Vec::new();
+        drain_heap(&mut heap, &mut out);
+        assert_eq!(out, vec![(1, 1.0), (2, 1.0)], "ties keep first arrivals");
+    }
+
+    #[test]
+    fn scalar_kernels_match_reference_fold() {
+        let tfs = [3u32, 0, 17, 1, 0, 255, 42, 9, 2];
+        let norms: Vec<f32> = (0..9).map(|i| 0.3 + i as f32 * 0.07).collect();
+        let mut acc = vec![0.0f32; 9];
+        score_computed_scalar(&mut acc, &tfs, -1.5, &norms, true);
+        score_computed_scalar(&mut acc, &tfs, 2.25, &norms, false);
+        for j in 0..9 {
+            let tf = tfs[j] as f32;
+            let expect = -1.5 * (tf / (tf + norms[j])) + 2.25 * (tf / (tf + norms[j]));
+            assert_eq!(acc[j].to_bits(), expect.to_bits(), "row {j}");
+        }
+    }
+
+    #[test]
+    fn poison_then_default_reset_is_safe() {
+        let mut s = QueryScratch::new();
+        s.poison(0xDEAD_BEEF);
+        s.poison(1); // twice: poisoning must not corrupt Vec invariants
+        assert!(s.terms.capacity() >= s.terms.len());
+    }
+}

@@ -45,6 +45,7 @@ pub mod builder;
 pub mod columns;
 pub mod engine;
 pub mod executor;
+pub mod hot;
 pub mod index;
 pub mod segment;
 pub mod skipping;
@@ -54,12 +55,14 @@ pub use bm25::{Bm25Params, CollectionStats, Quantizer};
 pub use boolean::BooleanQuery;
 pub use builder::{build_index_streaming, StreamingIndexBuilder};
 pub use columns::{IndexColumns, IndexColumnsWriter};
-pub use engine::{QueryEngine, SearchResponse, SearchResult, SearchStrategy};
+pub use engine::{HitsResponse, QueryEngine, SearchResponse, SearchResult, SearchStrategy};
 pub use executor::QueryExecutor;
+pub use hot::{QueryScratch, ScratchPool};
 pub use index::{IndexConfig, InvertedIndex, Materialize};
 pub use skipping::{intersect_skipping, PostingCursor};
 pub use spill::{
     build_index_streaming_spill, merge_run_sources, SpillConfig, SpillError, SpillStats,
     SpillingIndexBuilder,
 };
+pub use x100_exec::ExecError;
 pub use x100_storage::SegmentError;

@@ -1,0 +1,106 @@
+//! SIMD scoring pin: the wide (AVX2) BM25 batch kernels on the fused hot
+//! path must be **bit-identical** to the unrolled scalar kernels.
+//!
+//! The kernels keep multiply and add separate (no FMA contraction) and use
+//! only IEEE-exact vector operations (`cvtepi32_ps`, `div_ps`, `mul_ps`,
+//! `add_ps`), so this is exact `f32::to_bits` equality, not tolerance
+//! comparison. The process-wide [`simd_force_scalar`] toggle switches the
+//! dispatch; every test here serializes on one lock since the toggle is
+//! global. Without `--features simd` (or off x86_64/AVX2) both runs take
+//! the scalar path and the suite degenerates to a self-consistency pin —
+//! still valid, so it runs in both CI legs.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use x100_compress::{simd_active, simd_available, simd_force_scalar};
+use x100_corpus::{CollectionConfig, SyntheticCollection};
+use x100_ir::{IndexConfig, InvertedIndex, QueryExecutor, SearchStrategy};
+
+/// The force-scalar switch is process-wide and tests run on parallel
+/// threads: every test that toggles it holds this lock.
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Ranked strategies drive the scoring kernels: computed BM25 (tf →
+/// score arithmetic) and materialized (f32-bits / quantized decode-sum).
+const RANKED: [SearchStrategy; 4] = [
+    SearchStrategy::Bm25,
+    SearchStrategy::Bm25TwoPass,
+    SearchStrategy::Bm25Materialized,
+    SearchStrategy::Bm25MaterializedTwoPass,
+];
+
+struct Fixture {
+    queries: Vec<Vec<u32>>,
+    /// f32 materialization exercises the bit-cast decode kernel, q8 the
+    /// int-convert one; both run the computed kernel for Bm25/TwoPass.
+    indexes: [Arc<InvertedIndex>; 2],
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let mut queries: Vec<Vec<u32>> = c.eval_queries.iter().map(|q| q.terms.clone()).collect();
+        queries.extend(c.efficiency_log.iter().take(15).cloned());
+        let f32_idx = Arc::new(InvertedIndex::build(&c, &IndexConfig::materialized_f32()));
+        let q8_idx = Arc::new(InvertedIndex::build(&c, &IndexConfig::materialized_q8()));
+        Fixture {
+            queries,
+            indexes: [f32_idx, q8_idx],
+        }
+    })
+}
+
+fn hits_bits(
+    exec: &QueryExecutor,
+    q: &[u32],
+    strategy: SearchStrategy,
+    n: usize,
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    exec.search_hits_into(q, strategy, n, &mut out)
+        .expect("search failed");
+    out.iter().map(|&(d, s)| (d, s.to_bits())).collect()
+}
+
+#[test]
+fn wide_scoring_matches_forced_scalar_bit_for_bit() {
+    let _g = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let fx = fixture();
+    for index in &fx.indexes {
+        let exec = QueryExecutor::new(index.clone());
+        for &strategy in &RANKED {
+            for q in &fx.queries {
+                // Varying n exercises full batches, ragged scalar tails
+                // inside the wide kernel, and heap-boundary behaviour.
+                for n in [1usize, 7, 10, 64] {
+                    simd_force_scalar(false);
+                    let wide = hits_bits(&exec, q, strategy, n);
+                    simd_force_scalar(true);
+                    let scalar = hits_bits(&exec, q, strategy, n);
+                    simd_force_scalar(false);
+                    assert_eq!(
+                        wide, scalar,
+                        "wide vs scalar scoring diverged: {strategy:?} n={n} terms={q:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_fallback_really_switches_the_dispatch() {
+    let _g = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simd_force_scalar(true);
+    assert!(
+        !simd_active(),
+        "force-scalar must always win over detection"
+    );
+    simd_force_scalar(false);
+    assert_eq!(
+        simd_active(),
+        simd_available(),
+        "without the override, dispatch follows runtime detection"
+    );
+}
