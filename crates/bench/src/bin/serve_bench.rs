@@ -30,19 +30,35 @@
 //! bit-identity assertion is unchanged: a reopened segment must serve
 //! exactly what the in-memory index served.
 //!
+//! With `--nodes N` the single executor is replaced by the **networked
+//! scatter-gather path**: the collection is partitioned over N real
+//! [`x100_distributed::NodeServer`]s (each a TCP endpoint, `--replicas R`
+//! serving endpoints per partition) and every worker-pool query runs
+//! through the [`x100_distributed::Coordinator`]'s deadline/hedge/failover
+//! machinery. Bit-identity is then asserted against the in-process
+//! `search_scatter` oracle, and the trajectory gains per-node tail-latency
+//! attribution plus `hedged` / `failed_over` counters. `--kill-node`
+//! additionally kills one replica of partition 0 *mid-sweep* — with
+//! `--replicas >= 2` every query must still complete bit-identically via
+//! failover.
+//!
 //! Usage: `serve_bench [--scale tiny|small|medium|large] [--workers 1,2,4]
-//! [--queries N] [--seed N] [--segment path]`
-//! (defaults: medium, sweep 1,2,4, 500 queries, seed 0xC0FFEE)
+//! [--queries N] [--seed N] [--segment path]
+//! [--nodes N [--replicas R] [--kill-node]]`
+//! (defaults: medium, sweep 1,2,4, 500 queries, seed 0xC0FFEE, replicas 2)
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use x100_bench::{
     take_flag_value, take_scale_flag_or_exit, take_usize_flag_or_exit, write_trajectory, Json,
     TablePrinter,
 };
 use x100_corpus::{CollectionStream, QueryLogGenerator, Scale};
-use x100_distributed::{run_closed_loop, run_open_loop, ServeConfig, ServeReport};
+use x100_distributed::{
+    run_closed_loop, run_open_loop, Coordinator, CoordinatorConfig, NetCluster, ServeConfig,
+    ServeReport, SimulatedCluster,
+};
 use x100_ir::{build_index_streaming, IndexConfig, InvertedIndex, QueryExecutor, SearchStrategy};
 use x100_storage::{BufferManager, BufferMode, DiskModel};
 
@@ -110,6 +126,17 @@ fn percentiles_json(report: &ServeReport) -> Vec<(&'static str, Json)> {
     ]
 }
 
+/// Removes a boolean flag from `args`, returning whether it was present.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let scale = take_scale_flag_or_exit(&mut args).unwrap_or(Scale::Medium);
@@ -117,8 +144,43 @@ fn main() {
     let num_queries = take_usize_flag_or_exit(&mut args, "--queries", 500);
     let seed = take_usize_flag_or_exit(&mut args, "--seed", 0xC0FFEE) as u64;
     let segment_path = take_flag_value(&mut args, "--segment");
+    let nodes_flag = take_flag_value(&mut args, "--nodes");
+    let replicas = take_usize_flag_or_exit(&mut args, "--replicas", 2);
+    let kill_node = take_bool_flag(&mut args, "--kill-node");
     if let Some(unknown) = args.first() {
         eprintln!("error: unknown argument {unknown:?}");
+        std::process::exit(2);
+    }
+
+    if let Some(spec) = nodes_flag {
+        let nodes = match spec.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: --nodes expects a positive integer");
+                std::process::exit(2);
+            }
+        };
+        if segment_path.is_some() {
+            eprintln!("error: --nodes builds per-partition indexes; --segment is incompatible");
+            std::process::exit(2);
+        }
+        if replicas == 0 || (kill_node && replicas < 2) {
+            eprintln!("error: --kill-node needs --replicas >= 2 (someone must survive)");
+            std::process::exit(2);
+        }
+        run_networked(
+            scale,
+            nodes,
+            replicas,
+            kill_node,
+            &workers_sweep,
+            num_queries,
+            seed,
+        );
+        return;
+    }
+    if kill_node {
+        eprintln!("error: --kill-node requires --nodes");
         std::process::exit(2);
     }
 
@@ -336,6 +398,286 @@ fn main() {
             scaling_1_to_4.map_or(Json::Null, Json::Num),
         ),
         ("open_loop", open_json),
+    ]);
+    write_trajectory("BENCH_serve.json", &doc)
+        .unwrap_or_else(|e| panic!("write BENCH_serve.json: {e}"));
+}
+
+/// The `--nodes` mode: the worker pool serves every query through the
+/// networked [`Coordinator`] over real per-partition TCP endpoints, with
+/// the in-process `search_scatter` as the bit-identity oracle and the
+/// coordinator's hedge/failover counters recorded per node.
+fn run_networked(
+    scale: Scale,
+    nodes: usize,
+    replicas: usize,
+    kill_node: bool,
+    workers_sweep: &[usize],
+    num_queries: usize,
+    seed: u64,
+) {
+    let cfg = scale.config();
+    eprintln!(
+        "serve_bench scale={scale}, networked: {nodes} nodes x {replicas} replicas, \
+         sweep {workers_sweep:?} workers, {num_queries} queries{}",
+        if kill_node {
+            ", killing one replica mid-sweep"
+        } else {
+            ""
+        }
+    );
+
+    let t0 = Instant::now();
+    let stream = CollectionStream::new(&cfg);
+    let (cluster, _tail) = SimulatedCluster::build_streaming(
+        stream,
+        nodes,
+        &IndexConfig::materialized_q8(),
+        scale.chunk_size(),
+    );
+    let build_s = t0.elapsed().as_secs_f64();
+    let strategy = SearchStrategy::Bm25Materialized;
+    eprintln!("built {nodes} partition indexes in {build_s:.2}s");
+
+    let queries: Vec<Vec<u32>> =
+        QueryLogGenerator::new(cfg.query_log.clone(), cfg.vocab_size, seed)
+            .take(num_queries)
+            .collect();
+
+    // The differential oracle: in-process scatter-gather over the same
+    // nodes. Networked serving must reproduce these hits bit-for-bit.
+    let reference: Vec<Vec<(u32, f32)>> = queries
+        .iter()
+        .map(|q| {
+            let resp = cluster.search_scatter(q, strategy, TOP_N);
+            assert!(resp.failures.is_empty(), "oracle scatter lost a node");
+            resp.results.iter().map(|r| (r.docid, r.score)).collect()
+        })
+        .collect();
+
+    let net = Arc::new(
+        NetCluster::serve(
+            &cluster,
+            replicas,
+            CoordinatorConfig {
+                // Generous per-partition budget: CI machines stall; a
+                // deadline miss here would abort the bench, not a query.
+                deadline: Duration::from_secs(30),
+                ..CoordinatorConfig::default()
+            },
+        )
+        .expect("spawn node servers"),
+    );
+    let coordinator: Arc<Coordinator> = Arc::clone(net.coordinator());
+
+    let mut table = TablePrinter::new(&[
+        "workers",
+        "qps",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "hedged",
+        "failed over",
+    ]);
+    let mut sweep_json = Vec::new();
+    let mut qps_by_workers: Vec<(usize, f64)> = Vec::new();
+    let mut kill_pending = kill_node;
+    for &workers in workers_sweep {
+        let run_cfg = ServeConfig {
+            workers,
+            queue_depth: workers * 2,
+            strategy,
+            top_n: TOP_N,
+        };
+        let before = coordinator.stats();
+        // The injected fault: one replica of partition 0 dies mid-run of
+        // the first sweep point, while queries are in flight.
+        let killer = if kill_pending {
+            kill_pending = false;
+            let net = Arc::clone(&net);
+            Some(std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                eprintln!("-- killing partition 0 replica 0 mid-run --");
+                net.kill_server(0, 0);
+            }))
+        } else {
+            None
+        };
+        let report = run_closed_loop(&coordinator, &run_cfg, &queries);
+        if let Some(h) = killer {
+            let _ = h.join();
+        }
+        assert_eq!(report.completed, queries.len());
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(
+                outcome.hits, reference[i],
+                "networked hits diverged from the in-process scatter on query {i} \
+                 at {workers} workers"
+            );
+        }
+        let after = coordinator.stats();
+        assert_eq!(
+            after.unavailable, 0,
+            "no query may lose a partition: replication must absorb every fault"
+        );
+        let hedged = after.hedged - before.hedged;
+        let failed_over = after.failed_over - before.failed_over;
+        eprintln!(
+            "{workers} workers: {:.1} qps, p99 {:.1} ms, {hedged} hedged, \
+             {failed_over} failed over (bit-identical to in-process scatter)",
+            report.qps,
+            report.latency.p99().as_secs_f64() * 1e3
+        );
+        table.push_row(vec![
+            workers.to_string(),
+            format!("{:.1}", report.qps),
+            format!("{:.2}", report.latency.p50().as_secs_f64() * 1e3),
+            format!("{:.2}", report.latency.p95().as_secs_f64() * 1e3),
+            format!("{:.2}", report.latency.p99().as_secs_f64() * 1e3),
+            hedged.to_string(),
+            failed_over.to_string(),
+        ]);
+        let mut entry = vec![("workers", Json::Num(workers as f64))];
+        entry.extend(percentiles_json(&report));
+        entry.push(("hedged", Json::Num(hedged as f64)));
+        entry.push(("failed_over", Json::Num(failed_over as f64)));
+        entry.push(("identical_to_scatter", Json::Bool(true)));
+        sweep_json.push(Json::obj(entry));
+        qps_by_workers.push((workers, report.qps));
+    }
+
+    // With an injected kill the coordinator must both have taken the
+    // failover path and still be serving bit-identically afterwards.
+    if kill_node {
+        for (i, q) in queries.iter().take(50).enumerate() {
+            let outcome = coordinator
+                .search(q, strategy, TOP_N)
+                .expect("post-kill query must be served by the surviving replica");
+            assert_eq!(
+                outcome.hits, reference[i],
+                "post-kill networked hits diverged on query {i}"
+            );
+        }
+        let stats = coordinator.stats();
+        assert!(
+            stats.hedged + stats.failed_over >= 1,
+            "the killed replica must be visible as hedges or failovers"
+        );
+        assert!(
+            stats.partitions[0].replicas_down[0],
+            "the killed replica must be marked down"
+        );
+        eprintln!(
+            "post-kill: 50/50 queries bit-identical via failover ({} hedged, {} failed over)",
+            stats.hedged, stats.failed_over
+        );
+    }
+
+    // Per-node tail-latency attribution: which node gates the gather.
+    let stats = coordinator.stats();
+    let mut node_table = TablePrinter::new(&[
+        "node",
+        "requests",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "hedged",
+        "failed over",
+        "served/replica",
+    ]);
+    let mut per_node_json = Vec::new();
+    for p in &stats.partitions {
+        let served: Vec<String> = p.served_by_replica.iter().map(u64::to_string).collect();
+        node_table.push_row(vec![
+            p.partition.to_string(),
+            p.requests.to_string(),
+            format!("{:.2}", p.latency_p50.as_secs_f64() * 1e3),
+            format!("{:.2}", p.latency_p95.as_secs_f64() * 1e3),
+            format!("{:.2}", p.latency_p99.as_secs_f64() * 1e3),
+            p.hedged.to_string(),
+            p.failed_over.to_string(),
+            served.join("/"),
+        ]);
+        per_node_json.push(Json::obj(vec![
+            ("node", Json::Num(p.partition as f64)),
+            ("requests", Json::Num(p.requests as f64)),
+            (
+                "latency_p50_ms",
+                Json::Num(p.latency_p50.as_secs_f64() * 1e3),
+            ),
+            (
+                "latency_p95_ms",
+                Json::Num(p.latency_p95.as_secs_f64() * 1e3),
+            ),
+            (
+                "latency_p99_ms",
+                Json::Num(p.latency_p99.as_secs_f64() * 1e3),
+            ),
+            ("hedged", Json::Num(p.hedged as f64)),
+            ("failed_over", Json::Num(p.failed_over as f64)),
+            ("unavailable", Json::Num(p.unavailable as f64)),
+            (
+                "served_by_replica",
+                Json::Arr(
+                    p.served_by_replica
+                        .iter()
+                        .map(|&s| Json::Num(s as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "replicas_down",
+                Json::Arr(p.replicas_down.iter().map(|&d| Json::Bool(d)).collect()),
+            ),
+        ]));
+    }
+
+    println!(
+        "\nServe bench — {scale}, networked {nodes} nodes x {replicas} replicas, \
+         strategy bm25_materialized{}:",
+        if kill_node {
+            ", one replica killed"
+        } else {
+            ""
+        }
+    );
+    print!("{}", table.render());
+    println!("\nPer-node attribution:");
+    print!("{}", node_table.render());
+
+    let qps_at = |w: usize| {
+        qps_by_workers
+            .iter()
+            .find(|&&(ws, _)| ws == w)
+            .map(|&(_, q)| q)
+    };
+    let scaling_1_to_4 = match (qps_at(1), qps_at(4)) {
+        (Some(one), Some(four)) if one > 0.0 => Some(four / one),
+        _ => None,
+    };
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("serve_bench")),
+        ("mode", Json::str("networked")),
+        ("scale", Json::str(scale.name())),
+        ("nodes", Json::Num(nodes as f64)),
+        ("replicas", Json::Num(replicas as f64)),
+        ("kill_node", Json::Bool(kill_node)),
+        ("num_docs", Json::Num(cfg.num_docs as f64)),
+        ("vocab_size", Json::Num(cfg.vocab_size as f64)),
+        ("num_queries", Json::Num(num_queries as f64)),
+        ("seed", Json::Num(seed as f64)),
+        ("strategy", Json::str("bm25_materialized")),
+        ("build_s", Json::Num(build_s)),
+        ("closed_loop", Json::Arr(sweep_json)),
+        ("per_node", Json::Arr(per_node_json)),
+        ("hedged", Json::Num(stats.hedged as f64)),
+        ("failed_over", Json::Num(stats.failed_over as f64)),
+        ("unavailable", Json::Num(stats.unavailable as f64)),
+        (
+            "scaling_1_to_4",
+            scaling_1_to_4.map_or(Json::Null, Json::Num),
+        ),
     ]);
     write_trajectory("BENCH_serve.json", &doc)
         .unwrap_or_else(|e| panic!("write BENCH_serve.json: {e}"));

@@ -69,7 +69,9 @@ fn main() {
         "measuring per-partition compute for {} queries ...",
         queries.len()
     );
-    let compute = cluster.measure_compute(&queries, STRATEGY, TOP_N);
+    let compute = cluster
+        .measure_compute(&queries, STRATEGY, TOP_N)
+        .expect("healthy cluster: no node should fail during measurement");
 
     println!("Table 3 — performance of the distributed runs (measured vs paper)\n");
     println!(

@@ -9,6 +9,7 @@
 //! (see [`crate::schedule`]).
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,7 +22,31 @@ use x100_ir::{
 };
 use x100_storage::{BufferManager, BufferMode, DiskModel, IoStats};
 
-use crate::partition::{partition_collection, Partition};
+use crate::partition::{partition_collection, partition_of, Partition};
+
+/// A typed per-node failure the coordinator can report (and a failover
+/// layer can consume) instead of aborting the whole scatter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The node's fan-out worker died (panicked) before reporting a
+    /// result; the partition contributed nothing to the merge.
+    NodeFailed {
+        /// Which partition's worker died.
+        partition: usize,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NodeFailed { partition } => {
+                write!(f, "node for partition {partition} failed mid-query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// One node: partition index + local→global mapping + persistent buffers
 /// + a pool of reusable query scratch arenas.
@@ -30,9 +55,38 @@ pub struct Node {
     global_ids: Vec<u32>,
     buffers: Arc<BufferManager>,
     scratch: ScratchPool,
+    /// Test-only fault hook: when set, the next local search panics, so
+    /// suites can exercise panic containment in the scatter and network
+    /// paths without a genuinely corrupt index.
+    panic_on_search: AtomicBool,
 }
 
 impl Node {
+    fn new(index: InvertedIndex, global_ids: Vec<u32>, buffers: Arc<BufferManager>) -> Self {
+        Node {
+            index,
+            global_ids,
+            buffers,
+            scratch: ScratchPool::new(),
+            panic_on_search: AtomicBool::new(false),
+        }
+    }
+
+    /// Arms the test-only fault hook: every subsequent local search on
+    /// this node panics until disarmed. Exists so fault-injection suites
+    /// can pin that a panicking node is *contained* — reported as
+    /// [`ClusterError::NodeFailed`] in-process, served by a replica over
+    /// the network — rather than aborting the coordinator.
+    #[doc(hidden)]
+    pub fn inject_search_panic_for_tests(&self, armed: bool) {
+        self.panic_on_search.store(armed, Ordering::SeqCst);
+    }
+
+    fn check_injected_fault(&self) {
+        if self.panic_on_search.load(Ordering::SeqCst) {
+            panic!("injected node fault (test hook)");
+        }
+    }
     /// A fresh engine over this node's index and persistent buffer pool.
     pub fn engine(&self) -> QueryEngine<'_> {
         QueryEngine::with_buffer_manager(&self.index, self.buffers.clone())
@@ -52,6 +106,7 @@ impl Node {
         n: usize,
         out: &mut Vec<(u32, f32)>,
     ) -> Result<HitsResponse, ExecError> {
+        self.check_injected_fault();
         let mut scratch = self.scratch.acquire();
         let result = self
             .engine()
@@ -121,11 +176,20 @@ pub struct ScatterResponse {
     pub node_timings: Vec<NodeTiming>,
     /// Time the coordinator spent merging the per-node top-N lists.
     pub merge_time: Duration,
+    /// Nodes whose fan-out worker died mid-query (empty on the happy
+    /// path). A failed node contributed no hits: `results` covers the
+    /// surviving partitions only, and the caller decides whether partial
+    /// coverage is acceptable — the networked coordinator consumes this
+    /// shape by retrying the partition on a replica instead.
+    pub failures: Vec<ClusterError>,
 }
 
-/// A document-partitioned cluster of query nodes.
+/// A document-partitioned cluster of query nodes. Nodes are `Arc`-shared
+/// so serving layers (the in-process worker pool, the networked
+/// [`crate::net::NodeServer`]s) can hold handles to the same partition
+/// state the cluster owns.
 pub struct SimulatedCluster {
-    nodes: Vec<Node>,
+    nodes: Vec<Arc<Node>>,
 }
 
 impl SimulatedCluster {
@@ -149,12 +213,7 @@ impl SimulatedCluster {
                         BufferMode::Hot,
                         0,
                     ));
-                    Node {
-                        index,
-                        global_ids,
-                        buffers,
-                        scratch: ScratchPool::new(),
-                    }
+                    Arc::new(Node::new(index, global_ids, buffers))
                 },
             )
             .collect();
@@ -187,7 +246,7 @@ impl SimulatedCluster {
         let mut global_ids: Vec<Vec<u32>> = vec![Vec::new(); num_partitions];
         while let Some(chunk) = stream.next_chunk(chunk_size) {
             for doc in &chunk {
-                let p = (doc.id as usize) % num_partitions;
+                let p = partition_of(doc.id, num_partitions);
                 builders[p].push_doc(&doc.name, &doc.terms, doc.len);
                 global_ids[p].push(doc.id);
             }
@@ -234,7 +293,7 @@ impl SimulatedCluster {
         let mut chunk = Vec::new();
         while stream.next_chunk_into(chunk_size, &mut chunk) > 0 {
             for doc in &chunk {
-                let p = (doc.id as usize) % num_partitions;
+                let p = partition_of(doc.id, num_partitions);
                 builders[p].push_doc(&doc.name, &doc.terms, doc.len)?;
                 global_ids[p].push(doc.id);
             }
@@ -271,12 +330,7 @@ impl SimulatedCluster {
                     BufferMode::Hot,
                     0,
                 ));
-                Node {
-                    index,
-                    global_ids,
-                    buffers,
-                    scratch: ScratchPool::new(),
-                }
+                Arc::new(Node::new(index, global_ids, buffers))
             })
             .collect();
         SimulatedCluster { nodes }
@@ -342,8 +396,9 @@ impl SimulatedCluster {
         self.nodes.len()
     }
 
-    /// The nodes.
-    pub fn nodes(&self) -> &[Node] {
+    /// The nodes, as shareable handles — a networked serving layer clones
+    /// one per [`crate::net::NodeServer`] replica.
+    pub fn nodes(&self) -> &[Arc<Node>] {
         &self.nodes
     }
 
@@ -372,6 +427,7 @@ impl SimulatedCluster {
         n: usize,
     ) -> (Vec<MergedResult>, NodeTiming) {
         let started = Instant::now();
+        node.check_injected_fault();
         let engine = node.engine();
         let mut scratch = node.scratch.acquire();
         let searched = engine.search_with_scratch(terms, strategy, n, &mut scratch);
@@ -423,6 +479,13 @@ impl SimulatedCluster {
     /// gather step collects per-node lists in node order before the same
     /// deterministic merge, so thread completion order cannot leak into
     /// the ranking.
+    ///
+    /// A node thread that *panics* does not abort the query: the join
+    /// error is caught and reported as a [`ClusterError::NodeFailed`]
+    /// entry in [`ScatterResponse::failures`] (with a zeroed timing slot),
+    /// and the merge covers the surviving partitions. Callers that cannot
+    /// accept partial coverage check `failures`; the networked coordinator
+    /// instead retries the partition on a replica.
     pub fn search_scatter(
         &self,
         terms: &[u32],
@@ -431,17 +494,40 @@ impl SimulatedCluster {
     ) -> ScatterResponse {
         let mut per_node: Vec<(Vec<MergedResult>, NodeTiming)> =
             Vec::with_capacity(self.nodes.len());
+        let mut failures = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
                 .enumerate()
-                .map(|(ni, node)| s.spawn(move || Self::node_search(node, ni, terms, strategy, n)))
+                .map(|(ni, node)| {
+                    let node = Arc::clone(node);
+                    s.spawn(move || Self::node_search(&node, ni, terms, strategy, n))
+                })
                 .collect();
             // `handles` is in node order; joining in order re-establishes a
             // deterministic gather regardless of completion order.
-            for h in handles {
-                per_node.push(h.join().expect("node search thread panicked"));
+            for (ni, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(found) => per_node.push(found),
+                    Err(_) => {
+                        // The worker's panic payload is already printed by
+                        // the default hook; what the coordinator needs is
+                        // the typed fact that this partition reported
+                        // nothing.
+                        failures.push(ClusterError::NodeFailed { partition: ni });
+                        per_node.push((
+                            Vec::new(),
+                            NodeTiming {
+                                node: ni,
+                                wall: Duration::ZERO,
+                                cpu_time: Duration::ZERO,
+                                io: IoStats::default(),
+                                passes: 1,
+                            },
+                        ));
+                    }
+                }
             }
         });
         let mut results = Vec::with_capacity(self.nodes.len());
@@ -456,6 +542,7 @@ impl SimulatedCluster {
             results,
             node_timings,
             merge_time: merge_started.elapsed(),
+            failures,
         }
     }
 
@@ -469,14 +556,16 @@ impl SimulatedCluster {
         queries: &[Vec<u32>],
         strategy: SearchStrategy,
         n: usize,
-    ) -> Vec<Vec<Duration>> {
+    ) -> Result<Vec<Vec<Duration>>, ClusterError> {
         let num_nodes = self.nodes.len();
         let mut per_node: Vec<Vec<Duration>> = Vec::with_capacity(num_nodes);
+        let mut failed = None;
         std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
                 .map(|node| {
+                    let node = Arc::clone(node);
                     s.spawn(move || {
                         let engine = node.engine();
                         // Warm the node once so measurements reflect the
@@ -487,6 +576,7 @@ impl SimulatedCluster {
                         queries
                             .iter()
                             .map(|q| {
+                                node.check_injected_fault();
                                 engine
                                     .search(q, strategy, n)
                                     .map(|r| r.cpu_time)
@@ -496,15 +586,25 @@ impl SimulatedCluster {
                     })
                 })
                 .collect();
-            for h in handles {
-                per_node.push(h.join().expect("measurement thread panicked"));
+            for (ni, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(row) => per_node.push(row),
+                    Err(_) => {
+                        // Keep joining the rest so no thread is leaked past
+                        // the scope, then report the first dead node.
+                        failed.get_or_insert(ClusterError::NodeFailed { partition: ni });
+                    }
+                }
             }
         });
+        if let Some(err) = failed {
+            return Err(err);
+        }
         // Transpose to per-query rows: compute[q][node].
         let num_q = queries.len();
-        (0..num_q)
+        Ok((0..num_q)
             .map(|q| (0..num_nodes).map(|p| per_node[p][q]).collect())
-            .collect()
+            .collect())
     }
 }
 
@@ -594,7 +694,9 @@ mod tests {
     fn compute_matrix_has_query_by_node_shape() {
         let (c, cluster) = setup(3);
         let queries: Vec<Vec<u32>> = c.efficiency_log.iter().take(5).cloned().collect();
-        let m = cluster.measure_compute(&queries, SearchStrategy::Bm25, 20);
+        let m = cluster
+            .measure_compute(&queries, SearchStrategy::Bm25, 20)
+            .unwrap();
         assert_eq!(m.len(), 5);
         assert!(m.iter().all(|row| row.len() == 3));
     }
@@ -736,5 +838,80 @@ mod tests {
     fn streaming_zero_partitions_rejected() {
         let stream = CollectionStream::new(&CollectionConfig::tiny());
         let _ = SimulatedCluster::build_streaming(stream, 0, &IndexConfig::compressed(), 64);
+    }
+
+    #[test]
+    fn streaming_placement_agrees_with_partition_of() {
+        // The third copy of the placement rule lived here before it was
+        // factored into `partition_of`; pin that the streaming builders
+        // and the batch partitioner route every document identically.
+        let cfg = CollectionConfig::tiny();
+        for n in [2usize, 3, 5] {
+            let (streamed, _) = SimulatedCluster::build_streaming(
+                CollectionStream::new(&cfg),
+                n,
+                &IndexConfig::compressed(),
+                64,
+            );
+            for (pi, node) in streamed.nodes().iter().enumerate() {
+                for &g in &node.global_ids {
+                    assert_eq!(partition_of(g, n), pi, "doc {g} with {n} partitions");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_node_is_contained_and_reported() {
+        // A node-thread panic must not abort the scatter (the old
+        // `join().expect(...)` did): the query completes over the
+        // surviving partitions and the dead node surfaces as a typed
+        // `ClusterError::NodeFailed` the failover layer can consume.
+        let (c, cluster) = setup(3);
+        let q = &c.eval_queries[0].terms;
+        let healthy = cluster.search_scatter(q, SearchStrategy::Bm25, 20);
+        assert!(healthy.failures.is_empty());
+
+        cluster.nodes()[1].inject_search_panic_for_tests(true);
+        let resp = cluster.search_scatter(q, SearchStrategy::Bm25, 20);
+        assert_eq!(
+            resp.failures,
+            vec![ClusterError::NodeFailed { partition: 1 }],
+            "exactly the injected node reports failure"
+        );
+        assert_eq!(
+            resp.node_timings.len(),
+            3,
+            "timing slots stay in node order"
+        );
+        // The merge covers the surviving partitions: every healthy hit
+        // from a surviving node is still present, bit-identical and in
+        // rank order (hits freed by node 1's absence may interleave below
+        // the old truncation boundary).
+        assert!(resp.results.iter().all(|r| r.node != 1));
+        let expected: Vec<_> = healthy.results.iter().filter(|r| r.node != 1).collect();
+        assert!(resp.results.len() >= expected.len());
+        let mut remaining = resp.results.iter();
+        for want in &expected {
+            assert!(
+                remaining
+                    .any(|got| (got.docid, got.score.to_bits())
+                        == (want.docid, want.score.to_bits())),
+                "surviving hit {want:?} missing from degraded merge"
+            );
+        }
+
+        // measure_compute reports the same typed failure instead of
+        // panicking (the `:500` twin of the scatter-path bug).
+        let queries: Vec<Vec<u32>> = c.efficiency_log.iter().take(2).cloned().collect();
+        assert_eq!(
+            cluster.measure_compute(&queries, SearchStrategy::Bm25, 10),
+            Err(ClusterError::NodeFailed { partition: 1 })
+        );
+
+        cluster.nodes()[1].inject_search_panic_for_tests(false);
+        let recovered = cluster.search_scatter(q, SearchStrategy::Bm25, 20);
+        assert!(recovered.failures.is_empty());
+        assert_eq!(recovered.results, healthy.results);
     }
 }

@@ -20,13 +20,26 @@
 //!   servers gates the query), and concurrent query streams restoring
 //!   linear *throughput* scaling even as per-query latency degrades.
 
+//!
+//! A third layer promotes the simulation to real sockets: [`net`] serves
+//! each partition from a TCP endpoint and scatter-gathers with per-node
+//! deadlines, hedged retries, and replica failover, using the in-process
+//! cluster as its bit-identical differential oracle.
+
 pub mod cluster;
+pub mod net;
 pub mod partition;
 pub mod schedule;
 pub mod serve;
 
-pub use cluster::{MergedResult, Node, NodeTiming, ScatterResponse, SimulatedCluster};
-pub use partition::{partition_collection, Partition};
+pub use cluster::{
+    ClusterError, MergedResult, Node, NodeTiming, ScatterResponse, SimulatedCluster,
+};
+pub use net::{
+    Coordinator, CoordinatorConfig, CoordinatorStats, Fault, NetCluster, NetError,
+    NetSearchOutcome, NodeServer, PartitionAttempt, PartitionServeStats,
+};
+pub use partition::{partition_collection, partition_of, Partition};
 pub use schedule::{simulate_run, JitterModel, RunConfig, RunStats};
 pub use serve::{
     run_closed_loop, run_open_loop, AdmissionQueue, LatencyHistogram, QueryOutcome, QueryService,

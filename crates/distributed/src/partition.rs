@@ -16,6 +16,20 @@
 
 use x100_corpus::{Document, SyntheticCollection};
 
+/// The one doc→partition placement rule: global docid `doc_id` lives on
+/// partition `doc_id mod n`. Every placement path — batch
+/// [`partition_collection`], the streaming cluster builders, and any
+/// networked router — must go through this function; duplicated copies of
+/// the formula can silently drift, and a drift corrupts global-id routing
+/// (a query would merge hits whose global ids were minted under a
+/// different placement than the one used to route documents).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn partition_of(doc_id: u32, n: usize) -> usize {
+    (doc_id as usize) % n
+}
+
 /// One partition plus its local→global docid mapping.
 #[derive(Debug, Clone)]
 pub struct Partition {
@@ -33,7 +47,7 @@ pub fn partition_collection(collection: &SyntheticCollection, n: usize) -> Vec<P
     assert!(n > 0, "at least one partition required");
     let mut parts: Vec<(Vec<Document>, Vec<u32>)> = (0..n).map(|_| Default::default()).collect();
     for doc in &collection.docs {
-        let p = (doc.id as usize) % n;
+        let p = partition_of(doc.id, n);
         let (docs, globals) = &mut parts[p];
         let local = docs.len() as u32;
         globals.push(doc.id);
@@ -140,5 +154,22 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_rejected() {
         partition_collection(&tiny(), 0);
+    }
+
+    #[test]
+    fn batch_placement_agrees_with_partition_of() {
+        // Regression pin for the placement rule: `partition_collection`
+        // must put every document exactly where `partition_of` says (the
+        // streaming builders are pinned against the same rule in
+        // `cluster::tests::streaming_placement_agrees_with_partition_of`).
+        let c = tiny();
+        for n in [1usize, 2, 3, 7] {
+            let parts = partition_collection(&c, n);
+            for (pi, p) in parts.iter().enumerate() {
+                for &g in &p.global_ids {
+                    assert_eq!(partition_of(g, n), pi, "doc {g} with {n} partitions");
+                }
+            }
+        }
     }
 }

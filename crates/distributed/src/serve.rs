@@ -382,6 +382,16 @@ impl QueryService for QueryExecutor {
 impl QueryService for std::sync::Arc<SimulatedCluster> {
     fn execute(&self, terms: &[u32], strategy: SearchStrategy, n: usize) -> ServedQuery {
         let resp = self.search_scatter(terms, strategy, n);
+        // The in-process cluster has no replicas to fail over to, and a
+        // silently partial merge would be worse than stopping: per the
+        // trait contract, a dead node is a serving-configuration fault
+        // here. The networked coordinator is the implementation that
+        // turns `failures` into replica retries instead.
+        assert!(
+            resp.failures.is_empty(),
+            "in-process scatter lost partitions: {:?}",
+            resp.failures
+        );
         let io_time = resp
             .node_timings
             .iter()
@@ -716,6 +726,63 @@ mod tests {
         queue.close();
         assert_eq!(queue.push(2), Err(2));
         assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn close_unparks_blocked_pushers_with_clean_rejection() {
+        // The close-then-drain race, pinned: a submitter parked in a
+        // blocking `push` on a full depth-1 queue observes `close()` and
+        // must get a clean rejection — its item handed back, not silently
+        // dropped, and no deadlock. The already-admitted item still
+        // drains. (`close` wakes `not_full` waiters and the push loop
+        // re-checks `closed` before re-checking capacity, so the parked
+        // pusher cannot slip its item in after the close either.)
+        let queue: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(1));
+        queue.push(1).unwrap();
+        let pusher = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.push(2))
+        };
+        let with_pusher = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.push_with(|| 3))
+        };
+        // Let both submitters reach the parked wait on the full queue.
+        std::thread::sleep(Duration::from_millis(50));
+        queue.close();
+        assert_eq!(
+            pusher.join().unwrap(),
+            Err(2),
+            "parked push must be rejected with its item returned"
+        );
+        assert!(
+            !with_pusher.join().unwrap(),
+            "parked push_with must report rejection (its closure never ran)"
+        );
+        // Close-then-drain: the admitted item survives, the rejected ones
+        // never appear.
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn close_rejects_parked_pusher_even_when_space_appears_first() {
+        // The nastier interleaving: the queue is closed *and* drained
+        // while the pusher is parked, so the pusher wakes to a queue with
+        // free space. The closed check must still win — an item admitted
+        // after close would either be lost (drain already finished) or
+        // resurrect a "done" queue.
+        let queue: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(1));
+        queue.push(1).unwrap();
+        let pusher = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.push(2))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        queue.close();
+        assert_eq!(queue.pop(), Some(1)); // space appears after close
+        assert_eq!(pusher.join().unwrap(), Err(2));
         assert_eq!(queue.pop(), None);
     }
 

@@ -51,6 +51,37 @@ pub enum SearchStrategy {
 }
 
 impl SearchStrategy {
+    /// Every strategy of the Table 2 ladder, in ladder order.
+    pub const ALL: [SearchStrategy; 6] = [
+        SearchStrategy::BoolAnd,
+        SearchStrategy::BoolOr,
+        SearchStrategy::Bm25,
+        SearchStrategy::Bm25TwoPass,
+        SearchStrategy::Bm25Materialized,
+        SearchStrategy::Bm25MaterializedTwoPass,
+    ];
+
+    /// The strategy's stable one-byte tag on the network wire. Tags are
+    /// part of the framed search protocol: never reorder or reuse them,
+    /// only append.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            SearchStrategy::BoolAnd => 0,
+            SearchStrategy::BoolOr => 1,
+            SearchStrategy::Bm25 => 2,
+            SearchStrategy::Bm25TwoPass => 3,
+            SearchStrategy::Bm25Materialized => 4,
+            SearchStrategy::Bm25MaterializedTwoPass => 5,
+        }
+    }
+
+    /// Decodes a wire tag written by [`Self::wire_tag`]; `None` for bytes
+    /// no strategy claims (a decoder surfaces that as a typed protocol
+    /// error, never a panic).
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.wire_tag() == tag)
+    }
+
     /// Whether the strategy needs a materialized score column.
     pub fn needs_materialized(self) -> bool {
         matches!(
@@ -1061,6 +1092,17 @@ mod tests {
                 None => baseline = Some(resp.results),
                 Some(b) => assert_eq!(&resp.results, b, "vector size {vs}"),
             }
+        }
+    }
+
+    #[test]
+    fn wire_tags_roundtrip_and_reject_unknown_bytes() {
+        for s in SearchStrategy::ALL {
+            assert_eq!(SearchStrategy::from_wire_tag(s.wire_tag()), Some(s));
+        }
+        // Tags are dense from 0: every byte past the ladder is rejected.
+        for tag in SearchStrategy::ALL.len() as u8..=u8::MAX {
+            assert_eq!(SearchStrategy::from_wire_tag(tag), None);
         }
     }
 

@@ -54,7 +54,9 @@ fn main() {
         .take(100)
         .cloned()
         .collect();
-    let compute = cluster.measure_compute(&queries, SearchStrategy::Bm25, 20);
+    let compute = cluster
+        .measure_compute(&queries, SearchStrategy::Bm25, 20)
+        .expect("healthy cluster: no node should fail during measurement");
 
     println!("\nserver scaling (1 stream):           streams at 8 servers:");
     println!("  servers  latency  srv max/min         streams  latency  amortized");

@@ -1,0 +1,300 @@
+//! Networked-serving differential suite: the socket scatter-gather path
+//! ([`x100_distributed::net`]) must be **bit-identical** to the in-process
+//! [`SimulatedCluster::search_scatter`] oracle — same docids, same
+//! `f32::to_bits` scores, same tie-breaks — for every strategy of the
+//! Table 2 ladder, and must stay that way under injected node faults
+//! (kill, stall, garbage frames, worker panics) as long as a replica
+//! survives. When no replica survives, the failure must surface as a
+//! typed [`NetError`], never a panic reaching the coordinator.
+
+use std::time::Duration;
+
+use x100_corpus::{CollectionConfig, SyntheticCollection};
+use x100_distributed::{
+    CoordinatorConfig, Fault, NetCluster, NetError, NetSearchOutcome, SimulatedCluster,
+};
+use x100_ir::{IndexConfig, SearchStrategy};
+
+const TOP_N: usize = 15;
+
+fn fixture(partitions: usize) -> (Vec<Vec<u32>>, SimulatedCluster) {
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    // Materialized-Q8 runs all six strategies of the ladder.
+    let cluster = SimulatedCluster::build(&c, partitions, &IndexConfig::materialized_q8());
+    let mut queries: Vec<Vec<u32>> = c.eval_queries.iter().map(|q| q.terms.clone()).collect();
+    queries.extend(c.efficiency_log.iter().take(10).cloned());
+    (queries, cluster)
+}
+
+/// A config with a short hedge delay so stall tests complete quickly,
+/// but a generous deadline so slow CI machines never time out a healthy
+/// query.
+fn test_config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        deadline: Duration::from_secs(10),
+        hedge_after: Duration::from_millis(40),
+        hedge_min_samples: u64::MAX, // keep the hedge delay deterministic
+        connect_timeout: Duration::from_millis(500),
+    }
+}
+
+/// Asserts the networked outcome is bit-identical to the in-process
+/// scatter for one query.
+fn assert_bit_identical(
+    cluster: &SimulatedCluster,
+    net: &NetSearchOutcome,
+    terms: &[u32],
+    strategy: SearchStrategy,
+) {
+    let oracle = cluster.search_scatter(terms, strategy, TOP_N);
+    assert!(oracle.failures.is_empty());
+    assert_eq!(
+        net.hits.len(),
+        oracle.results.len(),
+        "{strategy:?}: networked and in-process hit counts differ"
+    );
+    for (i, (got, want)) in net.hits.iter().zip(&oracle.results).enumerate() {
+        assert_eq!(
+            (got.0, got.1.to_bits()),
+            (want.docid, want.score.to_bits()),
+            "{strategy:?}: rank {i} differs from the in-process oracle"
+        );
+    }
+}
+
+#[test]
+fn networked_results_bit_identical_across_all_strategies() {
+    let (queries, cluster) = fixture(3);
+    let net = NetCluster::serve(&cluster, 1, test_config()).expect("spawn servers");
+    for strategy in SearchStrategy::ALL {
+        for terms in &queries {
+            let outcome = net
+                .coordinator()
+                .search(terms, strategy, TOP_N)
+                .expect("healthy cluster serves");
+            assert_bit_identical(&cluster, &outcome, terms, strategy);
+        }
+    }
+    let stats = net.coordinator().stats();
+    assert_eq!(stats.unavailable, 0);
+    assert_eq!(stats.failed_over, 0);
+}
+
+#[test]
+fn killed_server_fails_over_bit_identically() {
+    let (queries, cluster) = fixture(3);
+    let net = NetCluster::serve(&cluster, 2, test_config()).expect("spawn servers");
+
+    // Warm every partition (and replica 0's connection pools) first, so
+    // the kill hits live pooled connections, not a cold coordinator.
+    let warm = net
+        .coordinator()
+        .search(&queries[0], SearchStrategy::Bm25, TOP_N)
+        .expect("healthy cluster serves");
+    assert_bit_identical(&cluster, &warm, &queries[0], SearchStrategy::Bm25);
+
+    // Kill partition 1's replica 0 outright: existing connections reset,
+    // new ones are refused.
+    net.kill_server(1, 0);
+
+    for strategy in SearchStrategy::ALL {
+        for terms in &queries {
+            let outcome = net
+                .coordinator()
+                .search(terms, strategy, TOP_N)
+                .expect("replica must absorb the killed server");
+            assert_bit_identical(&cluster, &outcome, terms, strategy);
+        }
+    }
+
+    let stats = net.coordinator().stats();
+    assert_eq!(stats.unavailable, 0, "failover must hide the dead server");
+    let p1 = &stats.partitions[1];
+    assert!(
+        p1.failed_over >= 1 || p1.hedged >= 1,
+        "partition 1 must have taken the failover path: {p1:?}"
+    );
+    assert!(
+        p1.served_by_replica[1] > 0,
+        "partition 1's surviving replica must have served"
+    );
+    assert!(p1.replicas_down[0], "the killed replica is marked down");
+    assert!(!p1.replicas_down[1], "the serving replica stays healthy");
+}
+
+#[test]
+fn stalled_server_is_hedged_around_bit_identically() {
+    let (queries, cluster) = fixture(2);
+    let net = NetCluster::serve(&cluster, 2, test_config()).expect("spawn servers");
+
+    // Replica 0 of partition 0 accepts requests but never answers; the
+    // hedge must fire and replica 1's answer must win, bit-identically.
+    net.server(0, 0).set_fault(Fault::Stall);
+
+    for (i, terms) in queries.iter().take(4).enumerate() {
+        let strategy = SearchStrategy::ALL[i % SearchStrategy::ALL.len()];
+        let outcome = net
+            .coordinator()
+            .search(terms, strategy, TOP_N)
+            .expect("hedge must rescue the stalled partition");
+        assert_bit_identical(&cluster, &outcome, terms, strategy);
+    }
+
+    let stats = net.coordinator().stats();
+    assert_eq!(stats.unavailable, 0);
+    assert!(
+        stats.partitions[0].hedged >= 1,
+        "the stall must be visible as hedged queries: {stats:?}"
+    );
+    // The healthy partition never needed help.
+    assert_eq!(stats.partitions[1].hedged, 0);
+    assert_eq!(stats.partitions[1].failed_over, 0);
+}
+
+#[test]
+fn garbage_frames_fail_over_bit_identically() {
+    let (queries, cluster) = fixture(2);
+    let net = NetCluster::serve(&cluster, 2, test_config()).expect("spawn servers");
+
+    // Replica 0 of partition 1 answers every request with a frame whose
+    // checksum is wrong: the client must reject it (never decode garbage
+    // hits) and fail over.
+    net.server(1, 0).set_fault(Fault::Garbage);
+
+    for (i, terms) in queries.iter().take(4).enumerate() {
+        let strategy = SearchStrategy::ALL[i % SearchStrategy::ALL.len()];
+        let outcome = net
+            .coordinator()
+            .search(terms, strategy, TOP_N)
+            .expect("failover must absorb the corrupting replica");
+        assert_bit_identical(&cluster, &outcome, terms, strategy);
+    }
+
+    let stats = net.coordinator().stats();
+    assert_eq!(stats.unavailable, 0);
+    assert!(
+        stats.partitions[1].failed_over >= 1,
+        "checksum rejection must surface as failovers: {stats:?}"
+    );
+
+    // Clearing the fault lets the replica re-enter rotation: the next
+    // successful exchange marks it back up.
+    net.server(1, 0).set_fault(Fault::None);
+    for terms in queries.iter().take(8) {
+        let outcome = net
+            .coordinator()
+            .search(terms, SearchStrategy::Bm25, TOP_N)
+            .expect("recovered cluster serves");
+        assert_bit_identical(&cluster, &outcome, terms, SearchStrategy::Bm25);
+    }
+}
+
+#[test]
+fn exhausted_replicas_yield_typed_error_not_panic() {
+    let (queries, cluster) = fixture(2);
+    let config = CoordinatorConfig {
+        // Tight deadline: every attempt is an instant connection refusal,
+        // so nothing in this test actually needs the budget.
+        deadline: Duration::from_secs(2),
+        ..test_config()
+    };
+    let net = NetCluster::serve(&cluster, 2, config).expect("spawn servers");
+
+    // Kill *both* replicas of partition 0.
+    net.kill_server(0, 0);
+    net.kill_server(0, 1);
+
+    match net
+        .coordinator()
+        .search(&queries[0], SearchStrategy::Bm25, TOP_N)
+    {
+        Err(NetError::PartitionUnavailable {
+            partition,
+            attempts,
+        }) => {
+            assert_eq!(partition, 0);
+            assert_eq!(attempts, 2, "both replicas must have been tried");
+        }
+        other => panic!("expected PartitionUnavailable, got {other:?}"),
+    }
+    let stats = net.coordinator().stats();
+    assert!(stats.unavailable >= 1);
+    // The healthy partition's state is untouched by its neighbor's death.
+    assert_eq!(stats.partitions[1].unavailable, 0);
+}
+
+#[test]
+fn worker_panic_is_contained_to_a_typed_error() {
+    // A panic inside the node's search (the injected data-level fault)
+    // kills the connection worker on *every* replica — they share the
+    // partition's node state, so failover cannot mask a data fault. The
+    // coordinator must report the partition as unavailable through the
+    // typed path; no panic may cross the sockets.
+    let (queries, cluster) = fixture(3);
+    let net = NetCluster::serve(&cluster, 2, test_config()).expect("spawn servers");
+
+    cluster.nodes()[2].inject_search_panic_for_tests(true);
+    match net
+        .coordinator()
+        .search(&queries[0], SearchStrategy::Bm25, TOP_N)
+    {
+        Err(NetError::PartitionUnavailable {
+            partition,
+            attempts,
+        }) => {
+            assert_eq!(partition, 2);
+            assert_eq!(attempts, 2);
+        }
+        other => panic!("expected PartitionUnavailable, got {other:?}"),
+    }
+
+    // Disarming heals the partition: replicas re-enter rotation on their
+    // next success and results are bit-identical again.
+    cluster.nodes()[2].inject_search_panic_for_tests(false);
+    for strategy in SearchStrategy::ALL {
+        let outcome = net
+            .coordinator()
+            .search(&queries[0], strategy, TOP_N)
+            .expect("recovered partition serves");
+        assert_bit_identical(&cluster, &outcome, &queries[0], strategy);
+    }
+    let down = &net.coordinator().stats().partitions[2].replicas_down;
+    assert!(!down[0], "first replica healed by its success");
+}
+
+#[test]
+fn remote_planning_errors_propagate_as_typed_remote() {
+    // A strategy the index cannot plan (materialized scoring on a
+    // non-materialized index) is a deterministic remote refusal: it must
+    // come back as NetError::Remote — not a panic, and not a futile
+    // failover (every replica would refuse identically).
+    let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+    let cluster = SimulatedCluster::build(&c, 2, &IndexConfig::compressed());
+    let net = NetCluster::serve(&cluster, 2, test_config()).expect("spawn servers");
+    let terms = c.eval_queries[0].terms.clone();
+
+    match net
+        .coordinator()
+        .search(&terms, SearchStrategy::Bm25Materialized, TOP_N)
+    {
+        Err(NetError::Remote(msg)) => {
+            assert!(
+                !msg.is_empty(),
+                "remote error must carry the node's message"
+            );
+        }
+        other => panic!("expected Remote error, got {other:?}"),
+    }
+    let stats = net.coordinator().stats();
+    assert_eq!(
+        stats.failed_over, 0,
+        "deterministic refusals must not trigger failover"
+    );
+    assert!(
+        stats
+            .partitions
+            .iter()
+            .all(|p| p.replicas_down.iter().all(|&d| !d)),
+        "a planning refusal is a healthy transport; nothing goes down"
+    );
+}
