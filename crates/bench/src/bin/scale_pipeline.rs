@@ -32,7 +32,7 @@
 //! A segment written here reopens in any later process via
 //! `serve_bench --segment <path>`.
 //!
-//! Usage: `scale_pipeline [--scale tiny|small|medium|large] [--mem-budget SIZE]
+//! Usage: `scale_pipeline [--scale tiny|small|medium|large|xlarge] [--mem-budget SIZE]
 //! [--partitions N] [--queries N] [--persist path]`
 //! (defaults: small, unbounded, 8 partitions, 200 measured queries)
 
@@ -176,7 +176,7 @@ fn main() {
                 .sum();
             let write_s = tw.elapsed().as_secs_f64();
             let to = Instant::now();
-            let reopened = InvertedIndex::open_segment(path)
+            let (reopened, open_stats) = InvertedIndex::open_segment_with_stats(path)
                 .unwrap_or_else(|e| panic!("reopen segment {path}: {e}"));
             let reopened_cluster = SimulatedCluster::open_segments(&part_paths)
                 .unwrap_or_else(|e| panic!("reopen partition segments: {e}"));
@@ -205,6 +205,25 @@ fn main() {
                 part_bytes as f64 / (1 << 20) as f64,
                 part_paths.len(),
             );
+            eprintln!(
+                "open footprint: {:.1} KiB resident metadata + {:.1} KiB block \
+                 directories (fully materialized would be {:.1} KiB)",
+                open_stats.resident_meta_bytes as f64 / 1024.0,
+                open_stats.directory_bytes as f64 / 1024.0,
+                open_stats.full_materialized_bytes as f64 / 1024.0,
+            );
+            // The whole point of the paged open: the resident metadata must
+            // be a small slice of what the old fully-materialized open kept
+            // in memory. Tiny fixtures fit in a handful of pages where the
+            // fence overhead dominates, so only assert from medium up.
+            if scale >= Scale::Medium {
+                assert!(
+                    open_stats.resident_meta_bytes <= open_stats.full_materialized_bytes / 10,
+                    "resident metadata {} exceeds 1/10 of the materialized footprint {}",
+                    open_stats.resident_meta_bytes,
+                    open_stats.full_materialized_bytes,
+                );
+            }
             persist_json = Json::obj(vec![
                 ("path", Json::str(path)),
                 ("full_segment_bytes", Json::Num(full_bytes as f64)),
@@ -212,11 +231,25 @@ fn main() {
                 ("partition_segment_bytes", Json::Num(part_bytes as f64)),
                 ("write_s", Json::Num(write_s)),
                 ("open_s", Json::Num(open_s)),
+                (
+                    "resident_meta_bytes",
+                    Json::Num(open_stats.resident_meta_bytes as f64),
+                ),
+                (
+                    "directory_bytes",
+                    Json::Num(open_stats.directory_bytes as f64),
+                ),
+                (
+                    "full_materialized_bytes",
+                    Json::Num(open_stats.full_materialized_bytes as f64),
+                ),
                 ("reopened_bit_identical", Json::Bool(true)),
             ]);
             persist_row = Some(format!(
-                "{:.1} MiB written in {write_s:.2}s, reopened in {open_s:.2}s",
-                (full_bytes + part_bytes) as f64 / (1 << 20) as f64
+                "{:.1} MiB written in {write_s:.2}s, reopened in {open_s:.2}s \
+                 ({:.1} KiB resident metadata)",
+                (full_bytes + part_bytes) as f64 / (1 << 20) as f64,
+                open_stats.resident_meta_bytes as f64 / 1024.0,
             ));
             (reopened, reopened_cluster)
         }

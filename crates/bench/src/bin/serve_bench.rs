@@ -42,7 +42,7 @@
 //! `--replicas >= 2` every query must still complete bit-identically via
 //! failover.
 //!
-//! Usage: `serve_bench [--scale tiny|small|medium|large] [--workers 1,2,4]
+//! Usage: `serve_bench [--scale tiny|small|medium|large|xlarge] [--workers 1,2,4]
 //! [--queries N] [--seed N] [--segment path]
 //! [--nodes N [--replicas R] [--kill-node]]`
 //! (defaults: medium, sweep 1,2,4, 500 queries, seed 0xC0FFEE, replicas 2)
@@ -194,15 +194,20 @@ fn main() {
     // miss) or build the materialized-score index in memory (streamed
     // generation).
     let t0 = Instant::now();
+    let mut open_stats = None;
     let index = match &segment_path {
         Some(path) => {
-            let index = InvertedIndex::open_segment(path)
+            let (index, stats) = InvertedIndex::open_segment_with_stats(path)
                 .unwrap_or_else(|e| panic!("open segment {path}: {e}"));
             eprintln!(
-                "opened segment {path}: {} docs, {} postings, cold",
+                "opened segment {path}: {} docs, {} postings, cold \
+                 ({:.1} KiB resident metadata, {:.1} KiB directories)",
                 index.stats().num_docs,
-                index.num_postings()
+                index.num_postings(),
+                stats.resident_meta_bytes as f64 / 1024.0,
+                stats.directory_bytes as f64 / 1024.0,
             );
+            open_stats = Some(stats);
             index
         }
         None => {
@@ -388,6 +393,14 @@ fn main() {
             segment_path.as_deref().map_or(Json::Null, Json::str),
         ),
         ("real_cold_cache_io", Json::Bool(segment_path.is_some())),
+        (
+            "open_resident_meta_bytes",
+            open_stats.map_or(Json::Null, |s| Json::Num(s.resident_meta_bytes as f64)),
+        ),
+        (
+            "open_directory_bytes",
+            open_stats.map_or(Json::Null, |s| Json::Num(s.directory_bytes as f64)),
+        ),
         ("simulated_miss_latency", Json::Bool(true)),
         ("index_compressed_bytes", Json::Num(compressed as f64)),
         ("pool_capacity_bytes", Json::Num(pool_capacity as f64)),

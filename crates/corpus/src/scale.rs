@@ -14,6 +14,7 @@
 //! | small  | 10 000    | 8 000      | integration tests                     |
 //! | medium | 100 000   | 40 000     | CI smoke, Table 2/3 regeneration      |
 //! | large  | 1 000 000 | 120 000    | perf trajectories (minutes, local)    |
+//! | xlarge | 2 500 000 | 150 000    | out-of-core segment rung (budgeted)   |
 
 use std::fmt;
 use std::str::FromStr;
@@ -34,11 +35,21 @@ pub enum Scale {
     /// 1 000 000 documents — the perf-trajectory scale (minutes in release
     /// mode); only ever generated in streaming chunks.
     Large,
+    /// 2 500 000 documents — the out-of-core rung: built under an explicit
+    /// memory budget and served from a persisted segment, never fully
+    /// resident.
+    XLarge,
 }
 
 impl Scale {
     /// Every scale, smallest first.
-    pub const ALL: [Scale; 4] = [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large];
+    pub const ALL: [Scale; 5] = [
+        Scale::Tiny,
+        Scale::Small,
+        Scale::Medium,
+        Scale::Large,
+        Scale::XLarge,
+    ];
 
     /// The generation parameters for this scale.
     pub fn config(self) -> CollectionConfig {
@@ -47,6 +58,7 @@ impl Scale {
             Scale::Small => CollectionConfig::small(),
             Scale::Medium => CollectionConfig::medium(),
             Scale::Large => CollectionConfig::large(),
+            Scale::XLarge => CollectionConfig::xlarge(),
         }
     }
 
@@ -57,6 +69,7 @@ impl Scale {
             Scale::Small => "small",
             Scale::Medium => "medium",
             Scale::Large => "large",
+            Scale::XLarge => "xlarge",
         }
     }
 
@@ -67,6 +80,7 @@ impl Scale {
             Scale::Tiny | Scale::Small => 1024,
             Scale::Medium => 4096,
             Scale::Large => 8192,
+            Scale::XLarge => 16384,
         }
     }
 }
@@ -85,7 +99,7 @@ impl fmt::Display for ParseScaleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown scale {:?} (expected tiny, small, medium or large)",
+            "unknown scale {:?} (expected tiny, small, medium, large or xlarge)",
             self.0
         )
     }
@@ -102,6 +116,7 @@ impl FromStr for Scale {
             "small" => Ok(Scale::Small),
             "medium" => Ok(Scale::Medium),
             "large" => Ok(Scale::Large),
+            "xlarge" => Ok(Scale::XLarge),
             _ => Err(ParseScaleError(s.to_owned())),
         }
     }
@@ -133,6 +148,25 @@ impl CollectionConfig {
         CollectionConfig {
             num_docs: 1_000_000,
             vocab_size: 120_000,
+            avg_doc_len: 250,
+            zipf_exponent: 1.0,
+            num_eval_queries: 50,
+            relevant_per_query: 40,
+            boost_tf: (3, 9),
+            query_log: QueryLogConfig::default(),
+            num_efficiency_queries: 5_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The out-of-core rung: 2.5 M documents, ~625 M term occurrences —
+    /// past what an unbudgeted in-memory build should attempt. Built with
+    /// [`crate::CollectionStream`] chunks under a spill budget and served
+    /// from a persisted segment.
+    pub fn xlarge() -> Self {
+        CollectionConfig {
+            num_docs: 2_500_000,
+            vocab_size: 150_000,
             avg_doc_len: 250,
             zipf_exponent: 1.0,
             num_eval_queries: 50,

@@ -246,7 +246,7 @@ mod tests {
         assert_indexes_equal(&streamed, &batch, c.vocab.len());
         assert_eq!(tail.efficiency_log, c.efficiency_log);
         assert_eq!(streamed.term_id("term3"), Some(3));
-        assert_eq!(streamed.doc_name(0), Some("doc-00000000"));
+        assert_eq!(streamed.doc_name(0).as_deref(), Some("doc-00000000"));
     }
 
     #[test]

@@ -276,7 +276,7 @@ impl<'a> QueryEngine<'a> {
             .map(|(docid, score)| SearchResult {
                 docid,
                 score,
-                name: self.index.doc_name(docid).unwrap_or_default().to_owned(),
+                name: self.index.doc_name(docid).unwrap_or_default(),
             })
             .collect();
         Ok(SearchResponse {
@@ -308,7 +308,7 @@ impl<'a> QueryEngine<'a> {
             .map(|&(docid, score)| SearchResult {
                 docid,
                 score,
-                name: self.index.doc_name(docid).unwrap_or_default().to_owned(),
+                name: self.index.doc_name(docid).unwrap_or_default(),
             })
             .collect();
         scratch.hits = hits;
@@ -589,7 +589,7 @@ impl<'a> QueryEngine<'a> {
             .map(|docid| SearchResult {
                 docid,
                 score: 0.0,
-                name: self.index.doc_name(docid).unwrap_or_default().to_owned(),
+                name: self.index.doc_name(docid).unwrap_or_default(),
             })
             .collect();
         Ok(SearchResponse {
@@ -718,7 +718,7 @@ impl<'a> QueryEngine<'a> {
             .map(|(docid, score)| SearchResult {
                 docid,
                 score,
-                name: self.index.doc_name(docid).unwrap_or_default().to_owned(),
+                name: self.index.doc_name(docid).unwrap_or_default(),
             })
             .collect();
         Ok(SearchResponse {

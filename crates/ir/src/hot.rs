@@ -47,7 +47,7 @@ use x100_storage::{BufferManager, Column};
 
 use crate::bm25::idf;
 use crate::engine::SearchStrategy;
-use crate::index::{InvertedIndex, Materialize};
+use crate::index::{InvertedIndex, Materialize, MetaView};
 
 /// A staged window of one column: decompressed values covering
 /// `[start, start + stage.len())`, plus the block the cursor currently
@@ -290,6 +290,12 @@ pub struct QueryScratch {
     heap: Vec<HeapRow>,
     /// Hit staging for callers that materialize full responses.
     pub(crate) hits: Vec<(u32, f32)>,
+    /// Pinned block window over a paged index's term-offset column.
+    off_window: Window,
+    /// Pinned block window over a paged index's doc-freq column.
+    freq_window: Window,
+    /// Pinned block window over a paged index's doc-len column.
+    len_window: Window,
 }
 
 impl QueryScratch {
@@ -357,6 +363,15 @@ impl QueryScratch {
                 w.pinned_block = Some(next() as usize);
             }
         }
+        for w in [
+            &mut self.off_window,
+            &mut self.freq_window,
+            &mut self.len_window,
+        ] {
+            refill_u32(&mut w.stage, &mut next);
+            w.start = next() as usize;
+            w.pinned_block = Some(next() as usize);
+        }
     }
 }
 
@@ -399,6 +414,79 @@ impl ScratchPool {
     }
 }
 
+/// A term's TD row range through the metadata view: a slice index for a
+/// built index, two windowed reads of the paged offset column for a
+/// reopened segment (clamped like the old open-time validation clamped).
+fn term_range_of(
+    view: &MetaView,
+    window: &mut Window,
+    buffers: &BufferManager,
+    vector_size: usize,
+    term: u32,
+) -> Result<Range<usize>, ExecError> {
+    match view {
+        MetaView::Mem { term_ranges, .. } => {
+            Ok(term_ranges.get(term as usize).cloned().unwrap_or(0..0))
+        }
+        MetaView::Paged {
+            offsets,
+            num_postings,
+            num_terms,
+            ..
+        } => {
+            let t = term as usize;
+            if t >= *num_terms {
+                return Ok(0..0);
+            }
+            let start = window.value_at(offsets, buffers, vector_size, t)? as usize;
+            let end = (window.value_at(offsets, buffers, vector_size, t + 1)? as usize)
+                .min(*num_postings);
+            Ok(if start > end { 0..0 } else { start..end })
+        }
+    }
+}
+
+/// A term's document frequency through the metadata view.
+fn doc_freq_of(
+    view: &MetaView,
+    window: &mut Window,
+    buffers: &BufferManager,
+    vector_size: usize,
+    term: u32,
+) -> Result<u32, ExecError> {
+    match view {
+        MetaView::Mem { doc_freqs, .. } => Ok(doc_freqs.get(term as usize).copied().unwrap_or(0)),
+        MetaView::Paged {
+            doc_freqs,
+            num_terms,
+            ..
+        } => {
+            if term as usize >= *num_terms {
+                return Ok(0);
+            }
+            window.value_at(doc_freqs, buffers, vector_size, term as usize)
+        }
+    }
+}
+
+/// A document's length as f32 through the metadata view. Lengths are
+/// non-negative, so the paged u32 read casts to the same f32 bits the
+/// dense `i32 as f32` cast produces.
+fn doc_len_f32(
+    view: &MetaView,
+    window: &mut Window,
+    buffers: &BufferManager,
+    vector_size: usize,
+    docid: u32,
+) -> Result<f32, ExecError> {
+    match view {
+        MetaView::Mem { doc_lens, .. } => Ok(doc_lens[docid as usize] as f32),
+        MetaView::Paged { doc_lens, .. } => {
+            Ok(window.value_at(doc_lens, buffers, vector_size, docid as usize)? as f32)
+        }
+    }
+}
+
 /// Runs one query through the fused path, appending up to `n`
 /// `(docid, score)` hits to `out` (cleared first), best first. Returns the
 /// number of passes (2 only when a two-pass strategy fell through to the
@@ -422,9 +510,11 @@ pub(crate) fn search_into(
                 .into(),
         ));
     }
+    let view = index.meta_view();
     scratch.terms.clear();
     for &t in term_ids {
-        if !index.term_range(t).is_empty() {
+        let range = term_range_of(&view, &mut scratch.off_window, buffers, vector_size, t)?;
+        if !range.is_empty() {
             scratch.terms.push(t);
         }
     }
@@ -441,7 +531,7 @@ pub(crate) fn search_into(
     let mut passes = 1u8;
     match strategy {
         SearchStrategy::BoolAnd | SearchStrategy::BoolOr => {
-            reset_cursors(index, buffers, vector_size, scratch, doc_col)?;
+            reset_cursors(&view, buffers, vector_size, scratch, doc_col)?;
             run_boolean(
                 buffers,
                 vector_size,
@@ -454,16 +544,16 @@ pub(crate) fn search_into(
         }
         _ => {
             let materialized = strategy.needs_materialized();
-            let mode = score_mode(index, &scratch.terms, &mut scratch.coefs, materialized);
+            let mode = score_mode(index, &view, buffers, vector_size, scratch, materialized)?;
             let pay_col = td
                 .column(if materialized { "score" } else { "tf" })
                 .map_err(ExecError::from)?;
             let two_pass = strategy.is_two_pass();
             // Single-pass strategies run the disjunctive plan directly;
             // two-pass tries conjunctive first (§3.3).
-            reset_cursors(index, buffers, vector_size, scratch, doc_col)?;
+            reset_cursors(&view, buffers, vector_size, scratch, doc_col)?;
             let matched = run_ranked(
-                index,
+                &view,
                 buffers,
                 vector_size,
                 doc_col,
@@ -475,9 +565,9 @@ pub(crate) fn search_into(
             )?;
             if two_pass && (matched as usize) < n && k > 1 {
                 passes = 2;
-                reset_cursors(index, buffers, vector_size, scratch, doc_col)?;
+                reset_cursors(&view, buffers, vector_size, scratch, doc_col)?;
                 run_ranked(
-                    index,
+                    &view,
                     buffers,
                     vector_size,
                     doc_col,
@@ -497,14 +587,21 @@ pub(crate) fn search_into(
 
 /// Re-aims the first `terms.len()` cursors at their term ranges.
 fn reset_cursors(
-    index: &InvertedIndex,
+    view: &MetaView,
     buffers: &BufferManager,
     vector_size: usize,
     scratch: &mut QueryScratch,
     doc_col: &Column,
 ) -> Result<(), ExecError> {
-    for (i, &t) in scratch.terms.iter().enumerate() {
-        scratch.cursors[i].reset(index.term_range(t), doc_col, buffers, vector_size)?;
+    let QueryScratch {
+        terms,
+        cursors,
+        off_window,
+        ..
+    } = scratch;
+    for (i, &t) in terms.iter().enumerate() {
+        let range = term_range_of(view, off_window, buffers, vector_size, t)?;
+        cursors[i].reset(range, doc_col, buffers, vector_size)?;
     }
     Ok(())
 }
@@ -513,26 +610,35 @@ fn reset_cursors(
 /// computed variant (folded into the plan as constants relationally).
 fn score_mode(
     index: &InvertedIndex,
-    terms: &[u32],
-    coefs: &mut Vec<f32>,
+    view: &MetaView,
+    buffers: &BufferManager,
+    vector_size: usize,
+    scratch: &mut QueryScratch,
     materialized: bool,
-) -> ScoreMode {
+) -> Result<ScoreMode, ExecError> {
     if materialized {
-        return match index.config().materialize {
+        return Ok(match index.config().materialize {
             Materialize::F32 => ScoreMode::MaterializedF32,
             Materialize::Quantized8 | Materialize::None => ScoreMode::MaterializedQ8,
-        };
+        });
     }
     let params = index.config().params;
     let stats = index.stats();
+    let QueryScratch {
+        terms,
+        coefs,
+        freq_window,
+        ..
+    } = scratch;
     coefs.clear();
-    for &t in terms {
-        coefs.push(idf(stats.num_docs, index.doc_freq(t)) * (params.k1 + 1.0));
+    for &t in terms.iter() {
+        let df = doc_freq_of(view, freq_window, buffers, vector_size, t)?;
+        coefs.push(idf(stats.num_docs, df) * (params.k1 + 1.0));
     }
-    ScoreMode::Computed {
+    Ok(ScoreMode::Computed {
         c0: params.k1 * (1.0 - params.b),
         c1: params.k1 * params.b / stats.avg_doc_len,
-    }
+    })
 }
 
 /// Unranked boolean retrieval: k-way docid merge (intersection or union),
@@ -607,7 +713,7 @@ fn run_boolean(
 /// candidate count (the two-pass quota check).
 #[allow(clippy::too_many_arguments)]
 fn run_ranked(
-    index: &InvertedIndex,
+    view: &MetaView,
     buffers: &BufferManager,
     vector_size: usize,
     doc_col: &Column,
@@ -626,6 +732,7 @@ fn run_ranked(
         norms,
         scores,
         heap,
+        len_window,
         ..
     } = scratch;
     let k = terms.len();
@@ -637,7 +744,6 @@ fn run_ranked(
         batch_payloads.resize(k * v, 0);
     }
     batch_payloads[..k * v].fill(0);
-    let doc_lens = index.doc_lens();
     let mut seq = 0u64;
 
     macro_rules! flush {
@@ -645,7 +751,9 @@ fn run_ranked(
             flush_batch(
                 mode,
                 coefs,
-                doc_lens,
+                view,
+                len_window,
+                buffers,
                 batch_docids,
                 batch_payloads,
                 v,
@@ -655,7 +763,7 @@ fn run_ranked(
                 heap,
                 n,
                 &mut seq,
-            );
+            )?;
             batch_docids.clear();
             batch_payloads[..k * v].fill(0);
         };
@@ -725,7 +833,9 @@ fn run_ranked(
 fn flush_batch(
     mode: ScoreMode,
     coefs: &[f32],
-    doc_lens: &[i32],
+    view: &MetaView,
+    len_window: &mut Window,
+    buffers: &BufferManager,
     batch_docids: &[u32],
     batch_payloads: &[u32],
     v: usize,
@@ -735,10 +845,10 @@ fn flush_batch(
     heap: &mut Vec<HeapRow>,
     n: usize,
     seq: &mut u64,
-) {
+) -> Result<(), ExecError> {
     let rows = batch_docids.len();
     if rows == 0 {
-        return;
+        return Ok(());
     }
     scores.clear();
     scores.resize(rows, 0.0);
@@ -747,7 +857,7 @@ fn flush_batch(
             norms.clear();
             for &d in batch_docids {
                 // Expression shape: c0 + c1 * cast_f32(gather(doclen)).
-                norms.push(c0 + c1 * (doc_lens[d as usize] as f32));
+                norms.push(c0 + c1 * doc_len_f32(view, len_window, buffers, v, d)?);
             }
             for i in 0..k {
                 score_computed(
@@ -783,6 +893,7 @@ fn flush_batch(
             },
         );
     }
+    Ok(())
 }
 
 /// Sorts the heap's retained rows (descending score, ascending arrival)

@@ -28,6 +28,7 @@ use x100_storage::{Column, ColumnBuilder, StringColumn, Table};
 
 use crate::bm25::{term_weight, Bm25Params, CollectionStats, Quantizer};
 use crate::columns::IndexColumns;
+use crate::paged::PagedMetadata;
 
 /// Which materialized score column to build (§3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,6 +107,26 @@ pub struct InvertedIndex {
     /// TD table: `docid`, `tf`, and optionally `score` columns, ordered by
     /// (term, docid).
     td: Table,
+    /// The D and T tables plus the term range index — dense in-memory
+    /// arrays for a built index, paged columns for a reopened segment.
+    meta: Metadata,
+    num_terms: usize,
+    stats: CollectionStats,
+    quantizer: Option<Quantizer>,
+}
+
+/// Where an index's metadata lives.
+#[derive(Debug)]
+enum Metadata {
+    /// Built in memory: dense docid/term-indexed arrays.
+    Mem(MemMetadata),
+    /// Reopened from a segment: disk-backed columns behind the buffer
+    /// pool, with only fence keys and page directories resident.
+    Paged(Box<PagedMetadata>),
+}
+
+#[derive(Debug)]
+struct MemMetadata {
     /// Range index replacing the term column: `term_ranges[t]` is the row
     /// range of term `t`'s posting list in TD.
     term_ranges: Vec<Range<usize>>,
@@ -116,8 +137,25 @@ pub struct InvertedIndex {
     doc_freqs: Vec<u32>,
     /// Term string -> id.
     term_dict: HashMap<String, u32>,
-    stats: CollectionStats,
-    quantizer: Option<Quantizer>,
+}
+
+/// A borrowed view of the metadata the hot path reads per batch: term
+/// ranges, document frequencies and document lengths. The `Mem` arm indexes
+/// dense slices; the `Paged` arm reads through pinned block windows owned
+/// by the caller's [`crate::QueryScratch`].
+pub(crate) enum MetaView<'a> {
+    Mem {
+        term_ranges: &'a [Range<usize>],
+        doc_freqs: &'a [u32],
+        doc_lens: &'a [i32],
+    },
+    Paged {
+        offsets: &'a Column,
+        doc_freqs: &'a Column,
+        doc_lens: &'a Column,
+        num_postings: usize,
+        num_terms: usize,
+    },
 }
 
 impl InvertedIndex {
@@ -236,11 +274,14 @@ impl InvertedIndex {
         InvertedIndex {
             config,
             td,
-            term_ranges,
-            doc_names,
-            doc_lens,
-            doc_freqs,
-            term_dict,
+            meta: Metadata::Mem(MemMetadata {
+                term_ranges,
+                doc_names,
+                doc_lens,
+                doc_freqs,
+                term_dict,
+            }),
+            num_terms,
             stats,
             quantizer,
         }
@@ -249,54 +290,32 @@ impl InvertedIndex {
     /// Assembles an index from the decoded parts of a persisted segment
     /// ([`crate::segment`]). No score re-materialization happens here — the
     /// score column (when present) comes back from disk bit-identical —
-    /// and collection statistics are recomputed from the document lengths
-    /// with the same fold as [`Self::from_columns`], so a reopened index
-    /// serves every strategy bit-identically to the one that was written.
+    /// and the collection statistics are restored from their exact bits in
+    /// the segment meta, so a reopened index serves every strategy
+    /// bit-identically to the one that was written without touching the
+    /// document table.
     pub(crate) fn from_segment_parts(parts: crate::segment::SegmentParts) -> Self {
         let crate::segment::SegmentParts {
             config,
-            vocab,
-            doc_names,
-            doc_lens,
-            doc_freqs,
-            offsets,
+            stats,
+            num_terms,
+            paged,
             docid,
             tf,
             score,
             quantizer,
         } = parts;
-        let num_docs = doc_lens.len();
-        let avg_doc_len = if num_docs == 0 {
-            1.0
-        } else {
-            doc_lens.iter().map(|&l| l as f64).sum::<f64>() as f32 / num_docs as f32
-        };
-        let stats = CollectionStats {
-            num_docs: num_docs as u32,
-            avg_doc_len,
-        };
         let mut td = Table::new("TD");
         td.add_column(docid);
         td.add_column(tf);
         if let Some(score) = score {
             td.add_column(score);
         }
-        let term_ranges = (0..vocab.len())
-            .map(|t| offsets[t]..offsets[t + 1])
-            .collect();
-        let term_dict = vocab
-            .into_iter()
-            .enumerate()
-            .map(|(t, s)| (s, t as u32))
-            .collect();
         InvertedIndex {
             config,
             td,
-            term_ranges,
-            doc_names,
-            doc_lens: Arc::new(doc_lens),
-            doc_freqs,
-            term_dict,
+            meta: Metadata::Paged(Box::new(paged)),
+            num_terms,
             stats,
             quantizer,
         }
@@ -314,27 +333,70 @@ impl InvertedIndex {
 
     /// TD row range of a term's posting list (empty for unseen terms).
     pub fn term_range(&self, term: u32) -> Range<usize> {
-        self.term_ranges.get(term as usize).cloned().unwrap_or(0..0)
+        match &self.meta {
+            Metadata::Mem(m) => m.term_ranges.get(term as usize).cloned().unwrap_or(0..0),
+            Metadata::Paged(p) => p.term_range(term),
+        }
     }
 
-    /// Resolves a term string to its id.
+    /// Resolves a term string to its id: a hash lookup for a built index,
+    /// a fence-key + in-page binary search for a reopened segment.
     pub fn term_id(&self, term: &str) -> Option<u32> {
-        self.term_dict.get(term).copied()
+        match &self.meta {
+            Metadata::Mem(m) => m.term_dict.get(term).copied(),
+            Metadata::Paged(p) => p.term_id(term),
+        }
     }
 
     /// `ftd`: number of documents containing the term.
     pub fn doc_freq(&self, term: u32) -> u32 {
-        self.doc_freqs.get(term as usize).copied().unwrap_or(0)
+        match &self.meta {
+            Metadata::Mem(m) => m.doc_freqs.get(term as usize).copied().unwrap_or(0),
+            Metadata::Paged(p) => p.doc_freq(term),
+        }
     }
 
-    /// Document name by docid.
-    pub fn doc_name(&self, docid: u32) -> Option<&str> {
-        self.doc_names.get(docid as usize)
+    /// Document name by docid (owned: a reopened segment stages the name's
+    /// page rather than keeping every name resident).
+    pub fn doc_name(&self, docid: u32) -> Option<String> {
+        match &self.meta {
+            Metadata::Mem(m) => m.doc_names.get(docid as usize).map(str::to_owned),
+            Metadata::Paged(p) => p.doc_name(docid),
+        }
     }
 
     /// Dense docid-indexed document lengths (the D table's `length`).
+    /// For a reopened segment this materializes the paged column once, on
+    /// first use — the relational (oracle) operators want a dense slice;
+    /// the fused serving path reads lengths through block windows instead.
     pub fn doc_lens(&self) -> &Arc<Vec<i32>> {
-        &self.doc_lens
+        match &self.meta {
+            Metadata::Mem(m) => &m.doc_lens,
+            Metadata::Paged(p) => p.materialized_lens(),
+        }
+    }
+
+    /// Number of documents in the collection.
+    pub fn num_docs(&self) -> usize {
+        self.stats.num_docs as usize
+    }
+
+    /// The per-batch metadata view the fused hot path reads through.
+    pub(crate) fn meta_view(&self) -> MetaView<'_> {
+        match &self.meta {
+            Metadata::Mem(m) => MetaView::Mem {
+                term_ranges: &m.term_ranges,
+                doc_freqs: &m.doc_freqs,
+                doc_lens: &m.doc_lens,
+            },
+            Metadata::Paged(p) => MetaView::Paged {
+                offsets: &p.offsets,
+                doc_freqs: &p.doc_freqs,
+                doc_lens: &p.doc_lens,
+                num_postings: p.num_postings,
+                num_terms: p.num_terms,
+            },
+        }
     }
 
     /// Collection statistics for BM25.
@@ -359,17 +421,22 @@ impl InvertedIndex {
 
     /// Number of terms in the vocabulary.
     pub fn num_terms(&self) -> usize {
-        self.term_ranges.len()
+        self.num_terms
     }
 
-    /// The vocabulary in term-id order (inverts the term dictionary; used
-    /// by the segment writer).
-    pub(crate) fn term_strings(&self) -> Vec<&str> {
-        let mut vocab = vec![""; self.term_dict.len()];
-        for (s, &t) in &self.term_dict {
-            vocab[t as usize] = s;
+    /// The vocabulary in term-id order (inverts the term dictionary, or
+    /// re-reads the sorted term pages; used by the segment writer).
+    pub(crate) fn term_strings(&self) -> Vec<String> {
+        match &self.meta {
+            Metadata::Mem(m) => {
+                let mut vocab = vec![String::new(); m.term_dict.len()];
+                for (s, &t) in &m.term_dict {
+                    vocab[t as usize] = s.clone();
+                }
+                vocab
+            }
+            Metadata::Paged(p) => p.all_terms(),
         }
-        vocab
     }
 
     /// Bits per tuple of the named TD column — the §3.3 accounting.
@@ -526,7 +593,7 @@ mod tests {
     #[test]
     fn doc_metadata_accessible() {
         let (c, idx) = tiny_index(IndexConfig::uncompressed());
-        assert_eq!(idx.doc_name(0), Some("doc-00000000"));
+        assert_eq!(idx.doc_name(0).as_deref(), Some("doc-00000000"));
         assert_eq!(idx.doc_lens().len(), c.docs.len());
         assert_eq!(idx.doc_lens()[5], c.docs[5].len as i32);
         let avg = idx.stats().avg_doc_len;

@@ -47,6 +47,7 @@ pub mod engine;
 pub mod executor;
 pub mod hot;
 pub mod index;
+mod paged;
 pub mod segment;
 pub mod skipping;
 pub mod spill;
@@ -59,6 +60,7 @@ pub use engine::{HitsResponse, QueryEngine, SearchResponse, SearchResult, Search
 pub use executor::QueryExecutor;
 pub use hot::{QueryScratch, ScratchPool};
 pub use index::{IndexConfig, InvertedIndex, Materialize};
+pub use segment::SegmentOpenStats;
 pub use skipping::{intersect_skipping, PostingCursor};
 pub use spill::{
     build_index_streaming_spill, merge_run_sources, SpillConfig, SpillError, SpillStats,

@@ -6,39 +6,71 @@
 //! open-time verification of every byte. This module owns the *index-level*
 //! encoding on top of it: which sections exist, how the configuration,
 //! vocabulary, document table and posting offsets serialize, and the
-//! cross-section consistency checks (offsets vs. document frequencies vs.
-//! column lengths) that make a reopened index safe to serve.
+//! cross-section consistency checks that make a reopened index safe to
+//! serve.
+//!
+//! Since format version 2 a segment open is **O(block directory), not
+//! O(collection)**: the vocabulary, document names, document lengths,
+//! document frequencies and term offsets are all stored as disk-backed
+//! columns whose blocks are `pread` through the buffer pool on first
+//! touch, exactly like posting blocks. The only metadata materialized at
+//! open time are two small directories — the per-page fence keys of the
+//! sorted vocabulary ([`SectionKind::TermsFences`]) and the first-docid
+//! table of the name pages ([`SectionKind::NamesDir`]) — whose size is
+//! reported in [`SegmentOpenStats`].
 //!
 //! A reopened index is **bit-identical** to the one written: posting and
-//! score blocks come back byte-for-byte (and are decoded lazily through the
-//! buffer pool, a miss being a real `pread`), the quantizer is restored from
-//! its exact bits, and collection statistics are recomputed from the
-//! document lengths with the same fold the build path uses.
+//! score blocks come back byte-for-byte, the quantizer and the collection
+//! statistics are restored from their exact bits, and the paged term
+//! lookup answers exactly like the materialized binary search it replaced.
+//!
+//! Persistence is crash-safe: the segment streams into a sibling temp
+//! file, is fsynced by [`SegmentWriter::finish`], and only then atomically
+//! renamed over the target path (with the parent directory fsynced), so an
+//! interrupted persist can never leave a plausible-looking partial segment
+//! at the target path.
 
-use std::path::Path;
+use std::borrow::Cow;
+use std::path::{Path, PathBuf};
 
 use x100_compress::Codec;
 use x100_storage::{
-    Column, SectionKind, SegmentError, SegmentReader, SegmentWriter, StringColumn,
-    StringColumnBuilder,
+    Column, ColumnBuilder, SectionKind, SegmentError, SegmentReader, SegmentWriter,
 };
 
-use crate::bm25::Quantizer;
+use crate::bm25::{CollectionStats, Quantizer};
 use crate::columns::posting_codecs;
 use crate::index::{IndexConfig, InvertedIndex, Materialize};
+use crate::paged::{
+    build_name_pages, build_term_pages, col_value, NamesDir, PagedMetadata, TermFences, PAGE_VALUES,
+};
 
 /// Fixed size of the serialized [`SectionKind::Meta`] payload.
-const META_LEN: usize = 56;
+const META_LEN: usize = 64;
+
+/// What a segment open had to materialize, versus what a version-1 open
+/// would have held resident for the same metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentOpenStats {
+    /// Bytes of metadata pinned in memory by the open: the vocabulary
+    /// fence keys and the document-name page directory.
+    pub resident_meta_bytes: usize,
+    /// Bytes of block-directory entries (offset + length per block) across
+    /// every disk-backed column of the segment.
+    pub directory_bytes: usize,
+    /// Bytes the old fully-materialized open would have held resident for
+    /// the same metadata: owned vocabulary and name strings plus dense
+    /// doc-len / doc-freq / offset arrays.
+    pub full_materialized_bytes: usize,
+}
 
 /// Everything [`InvertedIndex::from_segment_parts`] needs to assemble a
 /// served index, decoded and cross-validated from an open segment.
 pub(crate) struct SegmentParts {
     pub config: IndexConfig,
-    pub vocab: Vec<String>,
-    pub doc_names: StringColumn,
-    pub doc_lens: Vec<i32>,
-    pub doc_freqs: Vec<u32>,
-    pub offsets: Vec<usize>,
+    pub stats: CollectionStats,
+    pub num_terms: usize,
+    pub paged: PagedMetadata,
     pub docid: Column,
     pub tf: Column,
     pub score: Option<Column>,
@@ -47,7 +79,8 @@ pub(crate) struct SegmentParts {
 
 impl InvertedIndex {
     /// Writes the index to a segment file at `path`, streaming compressed
-    /// columns block-at-a-time. Returns the segment size in bytes.
+    /// columns block-at-a-time through a temp file that is atomically
+    /// renamed into place. Returns the segment size in bytes.
     pub fn write_segment(&self, path: impl AsRef<Path>) -> Result<u64, SegmentError> {
         write_segment_file(self, None, path.as_ref())
     }
@@ -62,18 +95,27 @@ impl InvertedIndex {
     ) -> Result<u64, SegmentError> {
         assert_eq!(
             global_ids.len(),
-            self.doc_lens().len(),
+            self.num_docs(),
             "one global id per document"
         );
         write_segment_file(self, Some(global_ids), path.as_ref())
     }
 
-    /// Opens a segment written by [`Self::write_segment`]. The posting (and
-    /// score) columns come back disk-backed: blocks are `pread` on first
-    /// touch, cached, dropped on buffer-pool eviction, and re-read on the
-    /// next access.
+    /// Opens a segment written by [`Self::write_segment`]. All columns —
+    /// postings, scores, and the paged metadata — come back disk-backed:
+    /// blocks are `pread` on first touch, cached, dropped on buffer-pool
+    /// eviction, and re-read on the next access.
     pub fn open_segment(path: impl AsRef<Path>) -> Result<Self, SegmentError> {
         Ok(open_segment_file(path.as_ref())?.0)
+    }
+
+    /// Like [`Self::open_segment`], also reporting how much metadata the
+    /// open materialized ([`SegmentOpenStats`]).
+    pub fn open_segment_with_stats(
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, SegmentOpenStats), SegmentError> {
+        let (index, _, stats) = open_segment_file(path.as_ref())?;
+        Ok((index, stats))
     }
 
     /// Opens a per-partition segment, returning the index together with its
@@ -81,7 +123,7 @@ impl InvertedIndex {
     pub fn open_partition_segment(
         path: impl AsRef<Path>,
     ) -> Result<(Self, Vec<u32>), SegmentError> {
-        let (index, global_ids) = open_segment_file(path.as_ref())?;
+        let (index, global_ids, _) = open_segment_file(path.as_ref())?;
         let global_ids = global_ids.ok_or(SegmentError::Corrupt(
             "partition segment lacks a global-ids section",
         ))?;
@@ -120,20 +162,41 @@ fn encode_meta(index: &InvertedIndex) -> Vec<u8> {
     meta.extend_from_slice(&q.to_le_bytes());
     meta.extend_from_slice(&(cfg.block_size as u64).to_le_bytes());
     meta.extend_from_slice(&(index.num_terms() as u64).to_le_bytes());
-    meta.extend_from_slice(&(index.doc_lens().len() as u64).to_le_bytes());
+    meta.extend_from_slice(&(index.num_docs() as u64).to_le_bytes());
     meta.extend_from_slice(&(index.num_postings() as u64).to_le_bytes());
+    // The exact average-doc-length bits, so a reopened index serves the
+    // same statistics without folding over the document lengths.
+    meta.extend_from_slice(&index.stats().avg_doc_len.to_bits().to_le_bytes());
+    meta.extend_from_slice(&[0u8; 4]);
     debug_assert_eq!(meta.len(), META_LEN);
     meta
 }
 
-/// `[u32 length][UTF-8 bytes]` per string, in order.
-fn encode_strings<'a>(strings: impl Iterator<Item = &'a str>) -> Vec<u8> {
-    let mut out = Vec::new();
-    for s in strings {
-        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
-        out.extend_from_slice(s.as_bytes());
+/// A `u32` column of dense per-term / per-doc metadata, paged at the same
+/// granularity as the record pages.
+fn metadata_column(name: &str, values: impl Iterator<Item = u32>) -> Column {
+    let mut b = ColumnBuilder::with_block_size(name, Codec::Raw, PAGE_VALUES);
+    for v in values {
+        b.push(v);
     }
-    out
+    b.finish()
+}
+
+/// The sibling temp path a segment streams into before the atomic rename.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let file = path
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    path.with_file_name(format!("{file}.tmp.{}", std::process::id()))
+}
+
+/// Fsyncs `path`'s parent directory so the rename itself is durable.
+fn sync_parent_dir(path: &Path) -> Result<(), SegmentError> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
 }
 
 fn write_segment_file(
@@ -141,57 +204,82 @@ fn write_segment_file(
     global_ids: Option<&[u32]>,
     path: &Path,
 ) -> Result<u64, SegmentError> {
-    let num_docs = index.doc_lens().len();
+    let num_docs = index.num_docs();
     let num_terms = index.num_terms();
-    let mut w = SegmentWriter::create(path)?;
-    w.write_section(SectionKind::Meta, &encode_meta(index))?;
-    w.write_section(
-        SectionKind::Terms,
-        &encode_strings(index.term_strings().into_iter()),
-    )?;
-    w.write_section(
-        SectionKind::DocNames,
-        &encode_strings((0..num_docs).map(|d| {
+    let num_postings = index.num_postings();
+    if num_postings > u32::MAX as usize {
+        return Err(SegmentError::TooLarge(
+            "posting count exceeds the u32 offset column",
+        ));
+    }
+    // Page the variable-length metadata: the vocabulary sorted
+    // lexicographically with its term id embedded per record, the names in
+    // docid order.
+    let vocab = index.term_strings();
+    let mut order: Vec<u32> = (0..num_terms as u32).collect();
+    order.sort_unstable_by(|&a, &b| vocab[a as usize].cmp(&vocab[b as usize]));
+    let (terms_col, fences) =
+        build_term_pages(order.iter().map(|&id| (vocab[id as usize].as_str(), id)))?;
+    let (names_col, names_dir) = build_name_pages((0..num_docs).map(|d| {
+        Cow::Owned(
             index
                 .doc_name(d as u32)
-                .expect("every docid below num_docs has a name")
-        })),
-    )?;
-    let mut lens = Vec::with_capacity(num_docs * 4);
-    for &l in index.doc_lens().iter() {
-        lens.extend_from_slice(&l.to_le_bytes());
-    }
-    w.write_section(SectionKind::DocLens, &lens)?;
-    let mut freqs = Vec::with_capacity(num_terms * 4);
-    for t in 0..num_terms {
-        freqs.extend_from_slice(&index.doc_freq(t as u32).to_le_bytes());
-    }
-    w.write_section(SectionKind::DocFreqs, &freqs)?;
-    let mut offsets = Vec::with_capacity((num_terms + 1) * 8);
-    for t in 0..num_terms {
-        offsets.extend_from_slice(&(index.term_range(t as u32).start as u64).to_le_bytes());
-    }
-    offsets.extend_from_slice(&(index.num_postings() as u64).to_le_bytes());
-    w.write_section(SectionKind::Offsets, &offsets)?;
-    let column = |name: &str| {
-        index
-            .td()
-            .column(name)
-            .expect("index TD table always has its posting columns")
-    };
-    w.write_column_section(SectionKind::ColDocid, column("docid"))?;
-    w.write_column_section(SectionKind::ColTf, column("tf"))?;
-    if index.has_materialized_scores() {
-        w.write_column_section(SectionKind::ColScore, column("score"))?;
-    }
-    if let Some(ids) = global_ids {
-        let mut bytes = Vec::with_capacity(ids.len() * 4);
-        for &g in ids {
-            bytes.extend_from_slice(&g.to_le_bytes());
+                .expect("every docid below num_docs has a name"),
+        )
+    }))?;
+    let lens_col = metadata_column("doc_lens", index.doc_lens().iter().map(|&l| l as u32));
+    let freqs_col = metadata_column(
+        "doc_freqs",
+        (0..num_terms).map(|t| index.doc_freq(t as u32)),
+    );
+    let offsets_col = metadata_column(
+        "offsets",
+        (0..num_terms)
+            .map(|t| index.term_range(t as u32).start as u32)
+            .chain(std::iter::once(num_postings as u32)),
+    );
+    let tmp = temp_sibling(path);
+    let written = (|| {
+        let mut w = SegmentWriter::create(&tmp)?;
+        w.write_section(SectionKind::Meta, &encode_meta(index))?;
+        w.write_section(SectionKind::TermsFences, &fences.encode())?;
+        w.write_column_section(SectionKind::Terms, &terms_col)?;
+        w.write_section(SectionKind::NamesDir, &names_dir.encode())?;
+        w.write_column_section(SectionKind::DocNames, &names_col)?;
+        w.write_column_section(SectionKind::DocLens, &lens_col)?;
+        w.write_column_section(SectionKind::DocFreqs, &freqs_col)?;
+        w.write_column_section(SectionKind::Offsets, &offsets_col)?;
+        let column = |name: &str| {
+            index
+                .td()
+                .column(name)
+                .expect("index TD table always has its posting columns")
+        };
+        w.write_column_section(SectionKind::ColDocid, column("docid"))?;
+        w.write_column_section(SectionKind::ColTf, column("tf"))?;
+        if index.has_materialized_scores() {
+            w.write_column_section(SectionKind::ColScore, column("score"))?;
         }
-        w.write_section(SectionKind::GlobalIds, &bytes)?;
+        if let Some(ids) = global_ids {
+            let mut bytes = Vec::with_capacity(ids.len() * 4);
+            for &g in ids {
+                bytes.extend_from_slice(&g.to_le_bytes());
+            }
+            w.write_section(SectionKind::GlobalIds, &bytes)?;
+        }
+        w.finish()
+    })();
+    match written {
+        Ok(bytes) => {
+            std::fs::rename(&tmp, path)?;
+            sync_parent_dir(path)?;
+            Ok(bytes)
+        }
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
     }
-    w.finish()
 }
 
 /// Decoded [`SectionKind::Meta`] payload.
@@ -201,6 +289,7 @@ struct Meta {
     num_terms: usize,
     num_docs: usize,
     num_postings: usize,
+    avg_doc_len: f32,
 }
 
 fn decode_meta(bytes: &[u8]) -> Result<Meta, SegmentError> {
@@ -255,7 +344,13 @@ fn decode_meta(bytes: &[u8]) -> Result<Meta, SegmentError> {
         .filter(|&n| n <= u32::MAX as usize)
         .ok_or(SegmentError::Corrupt("document count out of range"))?;
     let num_postings = usize::try_from(u64_at(48))
-        .map_err(|_| SegmentError::Corrupt("posting count out of range"))?;
+        .ok()
+        .filter(|&n| n <= u32::MAX as usize)
+        .ok_or(SegmentError::Corrupt("posting count out of range"))?;
+    let avg_doc_len = f32::from_bits(u32_at(56));
+    if bytes[60..64] != [0u8; 4] {
+        return Err(SegmentError::Corrupt("nonzero reserved meta field"));
+    }
     Ok(Meta {
         config: IndexConfig {
             compress,
@@ -267,33 +362,8 @@ fn decode_meta(bytes: &[u8]) -> Result<Meta, SegmentError> {
         num_terms,
         num_docs,
         num_postings,
+        avg_doc_len,
     })
-}
-
-/// Parses `[u32 length][bytes]` strings, expecting exactly `count` of them
-/// spanning exactly `bytes`. Pre-allocation is bounded by what the section
-/// could physically hold, so a corrupt count cannot balloon memory.
-fn decode_strings(bytes: &[u8], count: usize) -> Result<Vec<String>, SegmentError> {
-    let mut out = Vec::with_capacity(count.min(bytes.len() / 4 + 1));
-    let mut rest = bytes;
-    for _ in 0..count {
-        if rest.len() < 4 {
-            return Err(SegmentError::Corrupt("string record truncated"));
-        }
-        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
-        rest = &rest[4..];
-        if rest.len() < len {
-            return Err(SegmentError::Corrupt("string record truncated"));
-        }
-        let s = std::str::from_utf8(&rest[..len])
-            .map_err(|_| SegmentError::Corrupt("string record is not UTF-8"))?;
-        out.push(s.to_owned());
-        rest = &rest[len..];
-    }
-    if !rest.is_empty() {
-        return Err(SegmentError::Corrupt("trailing bytes after string records"));
-    }
-    Ok(out)
 }
 
 /// Parses a section of little-endian 4-byte records whose length must be
@@ -314,57 +384,63 @@ fn decode_u32s(bytes: &[u8], count: usize) -> Result<Vec<u32>, SegmentError> {
         .collect())
 }
 
-fn open_segment_file(path: &Path) -> Result<(InvertedIndex, Option<Vec<u32>>), SegmentError> {
+fn open_segment_file(
+    path: &Path,
+) -> Result<(InvertedIndex, Option<Vec<u32>>, SegmentOpenStats), SegmentError> {
     let r = SegmentReader::open(path)?;
     let meta = decode_meta(&r.read_section(SectionKind::Meta)?)?;
-    let vocab = decode_strings(&r.read_section(SectionKind::Terms)?, meta.num_terms)?;
-    let names = decode_strings(&r.read_section(SectionKind::DocNames)?, meta.num_docs)?;
-    let mut name_builder = StringColumnBuilder::new("name");
-    for n in &names {
-        name_builder.push(n);
-    }
-    let doc_names = name_builder.finish();
-    let doc_lens: Vec<i32> = decode_u32s(&r.read_section(SectionKind::DocLens)?, meta.num_docs)?
-        .into_iter()
-        .map(|v| v as i32)
-        .collect();
-    if doc_lens.iter().any(|&l| l < 0) {
-        return Err(SegmentError::Corrupt("negative document length"));
-    }
-    let doc_freqs = decode_u32s(&r.read_section(SectionKind::DocFreqs)?, meta.num_terms)?;
-    let offset_bytes = r.read_section(SectionKind::Offsets)?;
-    let expect_len = (meta.num_terms + 1)
-        .checked_mul(8)
-        .ok_or(SegmentError::Corrupt("term count overflows"))?;
-    if offset_bytes.len() != expect_len {
-        return Err(SegmentError::Corrupt(
-            "offsets section has the wrong length",
-        ));
-    }
-    let mut offsets = Vec::with_capacity(meta.num_terms + 1);
-    for c in offset_bytes.chunks_exact(8) {
-        let v = u64::from_le_bytes(c.try_into().unwrap());
-        let v = usize::try_from(v).map_err(|_| SegmentError::Corrupt("offset out of range"))?;
-        if let Some(&prev) = offsets.last() {
-            if v < prev {
-                return Err(SegmentError::Corrupt("offsets not monotone"));
+    // The five metadata columns are raw u32 columns paged at PAGE_VALUES,
+    // so the buffer pool serves them like any posting column.
+    let metadata_column =
+        |kind: SectionKind, name: &str, len: usize| -> Result<Column, SegmentError> {
+            let col = r.open_column(kind, name)?;
+            if col.codec() != Codec::Raw {
+                return Err(SegmentError::Corrupt("metadata column must be raw"));
             }
-        } else if v != 0 {
-            return Err(SegmentError::Corrupt("offsets must start at zero"));
+            if col.block_size() != PAGE_VALUES {
+                return Err(SegmentError::Corrupt(
+                    "metadata column has the wrong page size",
+                ));
+            }
+            if col.len() != len {
+                return Err(SegmentError::Corrupt(
+                    "metadata column length disagrees with the declared count",
+                ));
+            }
+            Ok(col)
+        };
+    let record_column = |kind: SectionKind, name: &str| -> Result<Column, SegmentError> {
+        let col = r.open_column(kind, name)?;
+        if col.codec() != Codec::Raw {
+            return Err(SegmentError::Corrupt("metadata column must be raw"));
         }
-        offsets.push(v);
+        if col.block_size() != PAGE_VALUES || !col.len().is_multiple_of(PAGE_VALUES) {
+            return Err(SegmentError::Corrupt("record pages are ragged"));
+        }
+        Ok(col)
+    };
+    let terms = record_column(SectionKind::Terms, "terms")?;
+    let fences = TermFences::decode(
+        &r.read_section(SectionKind::TermsFences)?,
+        meta.num_terms,
+        terms.block_count(),
+    )?;
+    let names = record_column(SectionKind::DocNames, "doc_names")?;
+    let names_dir = NamesDir::decode(
+        &r.read_section(SectionKind::NamesDir)?,
+        meta.num_docs,
+        names.block_count(),
+    )?;
+    let doc_lens = metadata_column(SectionKind::DocLens, "doc_lens", meta.num_docs)?;
+    let doc_freqs = metadata_column(SectionKind::DocFreqs, "doc_freqs", meta.num_terms)?;
+    let offsets = metadata_column(SectionKind::Offsets, "offsets", meta.num_terms + 1)?;
+    if col_value(&offsets, 0) != 0 {
+        return Err(SegmentError::Corrupt("offsets must start at zero"));
     }
-    if *offsets.last().expect("num_terms + 1 >= 1") != meta.num_postings {
+    if col_value(&offsets, meta.num_terms) as usize != meta.num_postings {
         return Err(SegmentError::Corrupt(
             "offsets do not cover the posting count",
         ));
-    }
-    for t in 0..meta.num_terms {
-        if (offsets[t + 1] - offsets[t]) as u64 != u64::from(doc_freqs[t]) {
-            return Err(SegmentError::Corrupt(
-                "document frequency disagrees with offsets",
-            ));
-        }
     }
     let (docid_codec, tf_codec) = posting_codecs(&meta.config);
     let open_posting_column =
@@ -408,19 +484,50 @@ fn open_segment_file(path: &Path) -> Result<(InvertedIndex, Option<Vec<u32>>), S
     } else {
         None
     };
-    let index = InvertedIndex::from_segment_parts(SegmentParts {
-        config: meta.config,
-        vocab,
-        doc_names,
+    let paged = PagedMetadata {
+        terms,
+        fences,
+        names,
+        names_dir,
         doc_lens,
         doc_freqs,
         offsets,
+        num_terms: meta.num_terms,
+        num_postings: meta.num_postings,
+        lens_cache: std::sync::OnceLock::new(),
+    };
+    let directory_bytes = [
+        &paged.terms,
+        &paged.names,
+        &paged.doc_lens,
+        &paged.doc_freqs,
+        &paged.offsets,
+        &docid,
+        &tf,
+    ]
+    .into_iter()
+    .chain(score.as_ref())
+    .map(|c| c.block_count() * std::mem::size_of::<(u64, u32)>())
+    .sum();
+    let open_stats = SegmentOpenStats {
+        resident_meta_bytes: paged.resident_meta_bytes(),
+        directory_bytes,
+        full_materialized_bytes: paged.full_materialized_bytes(),
+    };
+    let index = InvertedIndex::from_segment_parts(SegmentParts {
+        config: meta.config,
+        stats: CollectionStats {
+            num_docs: meta.num_docs as u32,
+            avg_doc_len: meta.avg_doc_len,
+        },
+        num_terms: meta.num_terms,
+        paged,
         docid,
         tf,
         score,
         quantizer: meta.quantizer,
     });
-    Ok((index, global_ids))
+    Ok((index, global_ids, open_stats))
 }
 
 #[cfg(test)]
@@ -502,5 +609,46 @@ mod tests {
             );
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn open_stats_report_a_small_resident_footprint() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let idx = InvertedIndex::build(&c, &IndexConfig::compressed());
+        let path = temp_path("stats");
+        idx.write_segment(&path).unwrap();
+        let (back, stats) = InvertedIndex::open_segment_with_stats(&path).unwrap();
+        assert_eq!(back.num_terms(), idx.num_terms());
+        assert!(stats.directory_bytes > 0);
+        assert!(stats.resident_meta_bytes > 0);
+        assert!(
+            stats.resident_meta_bytes < stats.full_materialized_bytes,
+            "{stats:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interrupted_persist_leaves_no_segment_behind() {
+        let c = SyntheticCollection::generate(&CollectionConfig::tiny());
+        let idx = InvertedIndex::build(&c, &IndexConfig::compressed());
+        let dir = temp_path("atomic-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("seg.x1sg");
+        // A failed write (unwritable target directory for the temp file)
+        // must not create the target path.
+        let bad = dir.join("missing-subdir").join("seg.x1sg");
+        assert!(matches!(idx.write_segment(&bad), Err(SegmentError::Io(_))));
+        assert!(!bad.exists());
+        // A successful write leaves exactly the target, no temp files.
+        idx.write_segment(&target).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        InvertedIndex::open_segment(&target).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

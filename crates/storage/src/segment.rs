@@ -53,8 +53,11 @@ use crate::runfile::Fnv1a;
 /// Magic number at the start of every segment file (`X1SG`).
 pub const SEGMENT_MAGIC: u32 = 0x5831_5347;
 
-/// Current segment format version.
-pub const SEGMENT_VERSION: u16 = 1;
+/// Current segment format version. Version 2 promoted the vocabulary,
+/// document-table and offset sections to paged column sections and widened
+/// the meta section; version-1 files are rejected with
+/// [`SegmentError::BadVersion`] (rebuild and re-persist to upgrade).
+pub const SEGMENT_VERSION: u16 = 2;
 
 /// Every section (and the TOC) starts at a multiple of this.
 pub const SECTION_ALIGN: u64 = 64;
@@ -76,6 +79,9 @@ pub enum SegmentError {
     /// Structural damage: checksum mismatches, impossible declared sizes,
     /// nonzero padding, unknown or overlapping sections.
     Corrupt(&'static str),
+    /// The data being written exceeds a fixed-width field of the format
+    /// (e.g. a record larger than one page, or counts past `u32`).
+    TooLarge(&'static str),
 }
 
 impl std::fmt::Display for SegmentError {
@@ -86,6 +92,7 @@ impl std::fmt::Display for SegmentError {
             SegmentError::BadVersion(v) => write!(f, "unsupported segment version {v}"),
             SegmentError::Truncated => f.write_str("segment file truncated"),
             SegmentError::Corrupt(what) => write!(f, "corrupt segment: {what}"),
+            SegmentError::TooLarge(what) => write!(f, "segment format limit exceeded: {what}"),
         }
     }
 }
@@ -126,6 +133,12 @@ pub enum SectionKind {
     ColScore = 9,
     /// Global document ids, present only in per-partition segments.
     GlobalIds = 10,
+    /// Resident fence keys over the paged vocabulary: first term per page
+    /// plus per-page record counts, small enough to pin in memory.
+    TermsFences = 11,
+    /// Resident directory over the paged document names: first docid per
+    /// page, small enough to pin in memory.
+    NamesDir = 12,
 }
 
 impl SectionKind {
@@ -141,6 +154,8 @@ impl SectionKind {
             8 => SectionKind::ColTf,
             9 => SectionKind::ColScore,
             10 => SectionKind::GlobalIds,
+            11 => SectionKind::TermsFences,
+            12 => SectionKind::NamesDir,
             _ => return None,
         })
     }
@@ -148,7 +163,14 @@ impl SectionKind {
     fn is_column(self) -> bool {
         matches!(
             self,
-            SectionKind::ColDocid | SectionKind::ColTf | SectionKind::ColScore
+            SectionKind::ColDocid
+                | SectionKind::ColTf
+                | SectionKind::ColScore
+                | SectionKind::Terms
+                | SectionKind::DocNames
+                | SectionKind::DocLens
+                | SectionKind::DocFreqs
+                | SectionKind::Offsets
         )
     }
 }
@@ -175,6 +197,18 @@ fn codec_from_parts(tag: u32, width: u32) -> Result<Codec, SegmentError> {
     }
 }
 
+/// The fixed 32-byte header that opens every column section's payload.
+fn column_section_header(column: &Column, block_count: usize) -> [u8; 32] {
+    let (tag, width) = codec_parts(column.codec());
+    let mut header = [0u8; 32];
+    header[0..4].copy_from_slice(&tag.to_le_bytes());
+    header[4..8].copy_from_slice(&width.to_le_bytes());
+    header[8..16].copy_from_slice(&(column.block_size() as u64).to_le_bytes());
+    header[16..24].copy_from_slice(&(column.len() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(block_count as u64).to_le_bytes());
+    header
+}
+
 #[derive(Debug, Clone, Copy)]
 struct TocEntry {
     kind: SectionKind,
@@ -183,12 +217,27 @@ struct TocEntry {
     checksum: u64,
 }
 
+/// An in-flight streaming section: state between [`SegmentWriter::
+/// begin_section`] and [`SegmentWriter::end_section`].
+#[derive(Debug)]
+struct OpenSection {
+    kind: SectionKind,
+    offset: u64,
+    sum: Fnv1a,
+}
+
 /// Writes one segment file: sections appended in order, header and table of
 /// contents finalized by [`finish`](Self::finish).
+///
+/// Sections stream: [`begin_section`](Self::begin_section) opens one,
+/// [`append`](Self::append) folds each chunk into a running FNV-1a checksum
+/// as it hits the `BufWriter`, and [`end_section`](Self::end_section) seals
+/// the TOC entry — no whole-section buffer ever exists in memory.
 #[derive(Debug)]
 pub struct SegmentWriter {
     out: BufWriter<File>,
     sections: Vec<TocEntry>,
+    current: Option<OpenSection>,
     pos: u64,
 }
 
@@ -201,6 +250,7 @@ impl SegmentWriter {
         Ok(SegmentWriter {
             out,
             sections: Vec::new(),
+            current: None,
             pos: HEADER_LEN,
         })
     }
@@ -216,29 +266,60 @@ impl SegmentWriter {
         Ok(())
     }
 
-    fn begin_section(&mut self, kind: SectionKind) -> Result<u64, SegmentError> {
+    /// Opens a streaming section. Bytes fed to [`append`](Self::append) land
+    /// in it until [`end_section`](Self::end_section) seals the checksum.
+    pub fn begin_section(&mut self, kind: SectionKind) -> Result<(), SegmentError> {
+        assert!(
+            self.current.is_none(),
+            "section {kind:?} begun while another section is open"
+        );
         assert!(
             self.sections.iter().all(|s| s.kind != kind),
             "section {kind:?} written twice"
         );
         self.pad_to_alignment()?;
-        Ok(self.pos)
+        self.current = Some(OpenSection {
+            kind,
+            offset: self.pos,
+            sum: Fnv1a::new(),
+        });
+        Ok(())
+    }
+
+    /// Appends bytes to the open section, folding them into its running
+    /// checksum.
+    pub fn append(&mut self, bytes: &[u8]) -> Result<(), SegmentError> {
+        let open = self
+            .current
+            .as_mut()
+            .expect("append called with no open section");
+        open.sum.update(bytes);
+        self.out.write_all(bytes)?;
+        self.pos += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Seals the open section: records its table-of-contents entry with the
+    /// checksum accumulated by [`append`](Self::append).
+    pub fn end_section(&mut self) -> Result<(), SegmentError> {
+        let open = self
+            .current
+            .take()
+            .expect("end_section called with no open section");
+        self.sections.push(TocEntry {
+            kind: open.kind,
+            offset: open.offset,
+            len: self.pos - open.offset,
+            checksum: open.sum.finish(),
+        });
+        Ok(())
     }
 
     /// Appends a fully materialized section.
     pub fn write_section(&mut self, kind: SectionKind, bytes: &[u8]) -> Result<(), SegmentError> {
-        let offset = self.begin_section(kind)?;
-        let mut sum = Fnv1a::new();
-        sum.update(bytes);
-        self.out.write_all(bytes)?;
-        self.pos += bytes.len() as u64;
-        self.sections.push(TocEntry {
-            kind,
-            offset,
-            len: bytes.len() as u64,
-            checksum: sum.finish(),
-        });
-        Ok(())
+        self.begin_section(kind)?;
+        self.append(bytes)?;
+        self.end_section()
     }
 
     /// Appends a column section, streaming one serialized block at a time —
@@ -250,7 +331,7 @@ impl SegmentWriter {
         kind: SectionKind,
         column: &Column,
     ) -> Result<(), SegmentError> {
-        let offset = self.begin_section(kind)?;
+        self.begin_section(kind)?;
         let block_count = column.block_count();
         let mut directory: Vec<u64> = Vec::with_capacity(block_count + 1);
         directory.push(0);
@@ -258,38 +339,23 @@ impl SegmentWriter {
             let bytes = column.block(i).to_bytes().len() as u64;
             directory.push(directory[i] + bytes);
         }
-        let (tag, width) = codec_parts(column.codec());
-        let mut sum = Fnv1a::new();
-        let mut emit = |out: &mut BufWriter<File>, pos: &mut u64, bytes: &[u8]| {
-            sum.update(bytes);
-            *pos += bytes.len() as u64;
-            out.write_all(bytes)
-        };
-        let mut header = Vec::with_capacity(32);
-        header.extend_from_slice(&tag.to_le_bytes());
-        header.extend_from_slice(&width.to_le_bytes());
-        header.extend_from_slice(&(column.block_size() as u64).to_le_bytes());
-        header.extend_from_slice(&(column.len() as u64).to_le_bytes());
-        header.extend_from_slice(&(block_count as u64).to_le_bytes());
-        emit(&mut self.out, &mut self.pos, &header)?;
+        self.append(&column_section_header(column, block_count))?;
         for &d in &directory {
-            emit(&mut self.out, &mut self.pos, &d.to_le_bytes())?;
+            self.append(&d.to_le_bytes())?;
         }
         for i in 0..block_count {
-            emit(&mut self.out, &mut self.pos, &column.block(i).to_bytes())?;
+            self.append(&column.block(i).to_bytes())?;
         }
-        self.sections.push(TocEntry {
-            kind,
-            offset,
-            len: self.pos - offset,
-            checksum: sum.finish(),
-        });
-        Ok(())
+        self.end_section()
     }
 
     /// Writes the table of contents, back-patches the header, and syncs.
     /// Returns the segment's total size in bytes.
     pub fn finish(mut self) -> Result<u64, SegmentError> {
+        assert!(
+            self.current.is_none(),
+            "finish called with a section still open"
+        );
         self.pad_to_alignment()?;
         let toc_offset = self.pos;
         let mut toc = Vec::with_capacity(self.sections.len() * TOC_ENTRY_LEN as usize);
@@ -786,5 +852,59 @@ mod tests {
         let mut w = SegmentWriter::create(&path).unwrap();
         w.write_section(SectionKind::Meta, b"a").unwrap();
         let _ = w.write_section(SectionKind::Meta, b"b");
+    }
+
+    #[test]
+    #[should_panic(expected = "another section is open")]
+    fn nested_sections_are_a_writer_bug() {
+        let path = temp_path("nested");
+        let mut w = SegmentWriter::create(&path).unwrap();
+        w.begin_section(SectionKind::Meta).unwrap();
+        let _ = w.begin_section(SectionKind::Terms);
+    }
+
+    #[test]
+    fn streamed_section_matches_whole_buffer_write() {
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let whole = temp_path("stream-whole");
+        let mut w = SegmentWriter::create(&whole).unwrap();
+        w.write_section(SectionKind::Meta, &payload).unwrap();
+        w.finish().unwrap();
+        let streamed = temp_path("stream-chunks");
+        let mut w = SegmentWriter::create(&streamed).unwrap();
+        w.begin_section(SectionKind::Meta).unwrap();
+        for chunk in payload.chunks(777) {
+            w.append(chunk).unwrap();
+        }
+        w.end_section().unwrap();
+        w.finish().unwrap();
+        // Byte-identical files: same offsets, checksums, TOC, header.
+        assert_eq!(
+            std::fs::read(&whole).unwrap(),
+            std::fs::read(&streamed).unwrap()
+        );
+        let r = SegmentReader::open(&streamed).unwrap();
+        assert_eq!(r.read_section(SectionKind::Meta).unwrap(), payload);
+        std::fs::remove_file(&whole).unwrap();
+        std::fs::remove_file(&streamed).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_version_one_files() {
+        let path = temp_path("v1");
+        write_sample(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Rewind the version field to 1 and re-seal the header checksum, so
+        // the typed version rejection (not a checksum error) is what fires.
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let mut sum = Fnv1a::new();
+        sum.update(&bytes[0..32]);
+        bytes[32..40].copy_from_slice(&sum.finish().to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SegmentReader::open(&path),
+            Err(SegmentError::BadVersion(1))
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 }
