@@ -1,0 +1,306 @@
+//! **Dynamic-pruning trajectory** — block-max pruned vs exhaustive
+//! disjunctive top-k over the mixed short/long workload, recorded to
+//! `BENCH_prune.json`.
+//!
+//! The sweep runs the same query log twice through the fused scratch-arena
+//! path: once with the exhaustive materialized strategy and once with
+//! [`x100_ir::SearchStrategy::Bm25MaterializedPruned`], and diffs each
+//! run's [`x100_ir::HotPathStats`] — `window_refills` is the honest
+//! "decoded posting blocks" meter (every 128-value stride staged into a
+//! cursor window counts, including the pruned path's own seek probes and
+//! block-max reads), `rows_scored` counts postings that reached the
+//! scoring heap. The workload is the two-class mix (short 1–2-term
+//! lookups, long 8-term disjunctions) measured per class, because the
+//! classes sit at opposite ends of the pruning payoff: short queries are
+//! mostly essential-list scans, long disjunctions are where MaxScore
+//! partitioning and stride skipping retire most of the work.
+//!
+//! Two properties are asserted **in process**:
+//! * every pruned hit list is bit-identical (`f32::to_bits` on scores) to
+//!   the exhaustive run's — pruning is an execution strategy, never a
+//!   result change;
+//! * at `--scale medium` and above, the long-query class decodes at least
+//!   2× fewer posting blocks pruned than exhaustive — the reduction the
+//!   block-max metadata exists to deliver.
+//!
+//! Usage: `prune_bench [--scale tiny|small|medium|large|xlarge]
+//! [--queries N] [--seed N]` (defaults: medium, 400 queries, seed
+//! 0xC0FFEE).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use x100_bench::{
+    take_scale_flag_or_exit, take_usize_flag_or_exit, write_trajectory, Json, TablePrinter,
+};
+use x100_corpus::{CollectionStream, QueryLogConfig, QueryLogGenerator, Scale};
+use x100_distributed::LatencyHistogram;
+use x100_ir::{build_index_streaming, HotPathStats, IndexConfig, QueryExecutor, SearchStrategy};
+
+const TOP_N: usize = 10;
+const SHORT_MAX_TERMS: usize = 2;
+const LONG_QUERY_TERMS: usize = 8;
+
+/// The two-class workload, split by class: `(short, long)`. Same
+/// generators and seeds as `serve_bench --mixed`, so the two benches
+/// measure the same traffic.
+fn class_query_logs(
+    base: &QueryLogConfig,
+    vocab_size: usize,
+    seed: u64,
+    per_class: usize,
+) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let short_cfg = QueryLogConfig {
+        avg_terms: 1.5,
+        max_terms: SHORT_MAX_TERMS,
+        ..base.clone()
+    };
+    let long_cfg = QueryLogConfig {
+        avg_terms: LONG_QUERY_TERMS as f64,
+        max_terms: LONG_QUERY_TERMS,
+        ..base.clone()
+    };
+    let target_long = LONG_QUERY_TERMS.min(vocab_size);
+    let short: Vec<Vec<u32>> = QueryLogGenerator::new(short_cfg, vocab_size, seed)
+        .take(per_class)
+        .collect();
+    let mut long_gen = QueryLogGenerator::new(long_cfg, vocab_size, seed ^ 0x9E37_79B9);
+    let long: Vec<Vec<u32>> = (0..per_class)
+        .map(|_| {
+            let mut terms = long_gen.next().expect("generator is endless");
+            terms.truncate(target_long);
+            while terms.len() < target_long {
+                for t in long_gen.next().expect("generator is endless") {
+                    if !terms.contains(&t) {
+                        terms.push(t);
+                        if terms.len() == target_long {
+                            break;
+                        }
+                    }
+                }
+            }
+            terms
+        })
+        .collect();
+    (short, long)
+}
+
+/// One class swept under one strategy: per-query latencies, the hot-path
+/// work delta, and every hit list for the bit-identity check.
+struct ClassRun {
+    latency: LatencyHistogram,
+    decoded_blocks: u64,
+    scored_rows: u64,
+    hits: Vec<Vec<(u32, f32)>>,
+}
+
+fn run_class(exec: &QueryExecutor, strategy: SearchStrategy, queries: &[Vec<u32>]) -> ClassRun {
+    let mut out = Vec::new();
+    let mut latency = LatencyHistogram::new();
+    let mut hits = Vec::with_capacity(queries.len());
+    let HotPathStats {
+        window_refills: refills_before,
+        rows_scored: scored_before,
+    } = exec.hot_stats();
+    for q in queries {
+        let t = Instant::now();
+        exec.search_hits_into(q, strategy, TOP_N, &mut out)
+            .expect("query failed");
+        latency.record(t.elapsed());
+        hits.push(out.clone());
+    }
+    let after = exec.hot_stats();
+    ClassRun {
+        latency,
+        decoded_blocks: after.window_refills - refills_before,
+        scored_rows: after.rows_scored - scored_before,
+        hits,
+    }
+}
+
+fn assert_bit_identical(class: &str, exhaustive: &ClassRun, pruned: &ClassRun) {
+    for (i, (e, p)) in exhaustive.hits.iter().zip(&pruned.hits).enumerate() {
+        assert_eq!(
+            e.len(),
+            p.len(),
+            "{class} query {i}: pruned hit count diverged"
+        );
+        for (j, ((ed, es), (pd, ps))) in e.iter().zip(p).enumerate() {
+            assert!(
+                ed == pd && es.to_bits() == ps.to_bits(),
+                "{class} query {i} hit {j}: pruned ({pd}, {ps:?}) vs exhaustive ({ed}, {es:?})"
+            );
+        }
+    }
+}
+
+fn ratio(exhaustive: u64, pruned: u64) -> f64 {
+    exhaustive as f64 / (pruned as f64).max(1.0)
+}
+
+fn class_json(class: &str, exhaustive: &ClassRun, pruned: &ClassRun, n: usize) -> Json {
+    let ms = |d: std::time::Duration| Json::Num(d.as_secs_f64() * 1e3);
+    let side = |r: &ClassRun| {
+        Json::obj(vec![
+            ("decoded_blocks", Json::Num(r.decoded_blocks as f64)),
+            ("scored_rows", Json::Num(r.scored_rows as f64)),
+            ("latency_p50_ms", ms(r.latency.p50())),
+            ("latency_p99_ms", ms(r.latency.p99())),
+        ])
+    };
+    Json::obj(vec![
+        ("class", Json::str(class)),
+        ("queries", Json::Num(n as f64)),
+        ("exhaustive", side(exhaustive)),
+        ("pruned", side(pruned)),
+        (
+            "decoded_blocks_ratio",
+            Json::Num(ratio(exhaustive.decoded_blocks, pruned.decoded_blocks)),
+        ),
+        (
+            "scored_rows_ratio",
+            Json::Num(ratio(exhaustive.scored_rows, pruned.scored_rows)),
+        ),
+    ])
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = take_scale_flag_or_exit(&mut args).unwrap_or(Scale::Medium);
+    let num_queries = take_usize_flag_or_exit(&mut args, "--queries", 400);
+    let seed = take_usize_flag_or_exit(&mut args, "--seed", 0xC0FFEE) as u64;
+    if let Some(unknown) = args.first() {
+        eprintln!("error: unknown argument {unknown:?}");
+        std::process::exit(2);
+    }
+    let cfg = scale.config();
+    let per_class = (num_queries / 2).max(1);
+    eprintln!(
+        "prune_bench scale={scale}: {} docs, {per_class} short + {per_class} long queries, top-{TOP_N}",
+        cfg.num_docs
+    );
+
+    let t0 = Instant::now();
+    let stream = CollectionStream::new(&cfg);
+    let (index, _tail) =
+        build_index_streaming(stream, &IndexConfig::materialized_q8(), scale.chunk_size());
+    let index = Arc::new(index);
+    assert!(
+        index.block_max().is_some(),
+        "built index must carry block-max metadata"
+    );
+    index
+        .validate_block_max()
+        .expect("block-max metadata must dominate the posting columns");
+    eprintln!(
+        "indexed {} postings in {:.2}s (block-max metadata validated)",
+        index.num_postings(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let (short_q, long_q) = class_query_logs(&cfg.query_log, cfg.vocab_size, seed, per_class);
+
+    // One executor per strategy: the work counters then attribute cleanly,
+    // and both run warm over the same shared in-memory index.
+    let exhaustive_exec = QueryExecutor::new(index.clone());
+    let pruned_exec = QueryExecutor::new(index.clone());
+    let runs: Vec<(&str, &Vec<Vec<u32>>, ClassRun, ClassRun)> =
+        [("short", &short_q), ("long", &long_q)]
+            .into_iter()
+            .map(|(class, queries)| {
+                let e = run_class(&exhaustive_exec, SearchStrategy::Bm25Materialized, queries);
+                let p = run_class(
+                    &pruned_exec,
+                    SearchStrategy::Bm25MaterializedPruned,
+                    queries,
+                );
+                assert_bit_identical(class, &e, &p);
+                (class, queries, e, p)
+            })
+            .collect();
+
+    let mut table = TablePrinter::new(&[
+        "class",
+        "blocks exh",
+        "blocks pruned",
+        "ratio",
+        "rows exh",
+        "rows pruned",
+        "ratio",
+        "p99 exh ms",
+        "p99 pruned ms",
+    ]);
+    let mut classes_json = Vec::new();
+    let mut total_e_blocks = 0u64;
+    let mut total_p_blocks = 0u64;
+    let mut total_e_rows = 0u64;
+    let mut total_p_rows = 0u64;
+    for (class, queries, e, p) in &runs {
+        let blocks_ratio = ratio(e.decoded_blocks, p.decoded_blocks);
+        let rows_ratio = ratio(e.scored_rows, p.scored_rows);
+        eprintln!(
+            "{class}: decoded blocks {} -> {} ({blocks_ratio:.2}x), scored rows {} -> {} \
+             ({rows_ratio:.2}x), bit-identical",
+            e.decoded_blocks, p.decoded_blocks, e.scored_rows, p.scored_rows
+        );
+        table.push_row(vec![
+            class.to_string(),
+            e.decoded_blocks.to_string(),
+            p.decoded_blocks.to_string(),
+            format!("{blocks_ratio:.2}x"),
+            e.scored_rows.to_string(),
+            p.scored_rows.to_string(),
+            format!("{rows_ratio:.2}x"),
+            format!("{:.3}", e.latency.p99().as_secs_f64() * 1e3),
+            format!("{:.3}", p.latency.p99().as_secs_f64() * 1e3),
+        ]);
+        classes_json.push(class_json(class, e, p, queries.len()));
+        total_e_blocks += e.decoded_blocks;
+        total_p_blocks += p.decoded_blocks;
+        total_e_rows += e.scored_rows;
+        total_p_rows += p.scored_rows;
+    }
+
+    // The acceptance floor: long disjunctive top-10 at medium scale must
+    // decode at least 2x fewer blocks pruned than exhaustive. Tiny/small
+    // posting lists span too few 128-value strides for skipping to bite,
+    // so the floor is only asserted from medium up.
+    let long_run = runs
+        .iter()
+        .find(|(c, ..)| *c == "long")
+        .expect("long class");
+    let long_blocks_ratio = ratio(long_run.2.decoded_blocks, long_run.3.decoded_blocks);
+    if scale >= Scale::Medium {
+        assert!(
+            long_blocks_ratio >= 2.0,
+            "long-query pruning decoded only {long_blocks_ratio:.2}x fewer blocks (floor: 2x)"
+        );
+    }
+
+    println!("\nPrune bench — {scale}, bm25_materialized pruned vs exhaustive, top-{TOP_N}:");
+    print!("{}", table.render());
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("prune_bench")),
+        ("scale", Json::str(scale.name())),
+        ("num_docs", Json::Num(cfg.num_docs as f64)),
+        ("vocab_size", Json::Num(cfg.vocab_size as f64)),
+        ("queries_per_class", Json::Num(per_class as f64)),
+        ("seed", Json::Num(seed as f64)),
+        ("top_n", Json::Num(TOP_N as f64)),
+        ("strategy", Json::str("bm25_materialized_pruned")),
+        ("classes", Json::Arr(classes_json)),
+        (
+            "decoded_blocks_ratio",
+            Json::Num(ratio(total_e_blocks, total_p_blocks)),
+        ),
+        (
+            "scored_rows_ratio",
+            Json::Num(ratio(total_e_rows, total_p_rows)),
+        ),
+        ("long_decoded_blocks_ratio", Json::Num(long_blocks_ratio)),
+        ("bit_identical", Json::Bool(true)),
+    ]);
+    write_trajectory("BENCH_prune.json", &doc)
+        .unwrap_or_else(|e| panic!("write BENCH_prune.json: {e}"));
+}

@@ -42,8 +42,17 @@
 //! `--replicas >= 2` every query must still complete bit-identically via
 //! failover.
 //!
+//! With `--mixed` the query log becomes the **two-class workload**: short
+//! (1–2 term) and long (8-term disjunctive) Zipfian queries interleaved
+//! 1:1. The run serves it with the block-max pruned strategy (when the
+//! index carries block-max metadata) through the **two-lane admission
+//! queue** (short queries ride the priority lane, the long lane is served
+//! at least every 4th dequeue), and the report breaks latency out
+//! per class — the short-query p99 is the number the two-lane queue
+//! exists to protect.
+//!
 //! Usage: `serve_bench [--scale tiny|small|medium|large|xlarge] [--workers 1,2,4]
-//! [--queries N] [--seed N] [--segment path]
+//! [--queries N] [--seed N] [--segment path] [--mixed]
 //! [--nodes N [--replicas R] [--kill-node]]`
 //! (defaults: medium, sweep 1,2,4, 500 queries, seed 0xC0FFEE, replicas 2)
 
@@ -54,15 +63,20 @@ use x100_bench::{
     take_flag_value, take_scale_flag_or_exit, take_usize_flag_or_exit, write_trajectory, Json,
     TablePrinter,
 };
-use x100_corpus::{CollectionStream, QueryLogGenerator, Scale};
+use x100_corpus::{CollectionStream, QueryLogConfig, QueryLogGenerator, Scale};
 use x100_distributed::{
-    run_closed_loop, run_open_loop, Coordinator, CoordinatorConfig, NetCluster, ServeConfig,
-    ServeReport, SimulatedCluster,
+    run_closed_loop, run_open_loop, Coordinator, CoordinatorConfig, LatencyHistogram, NetCluster,
+    ServeConfig, ServeReport, SimulatedCluster,
 };
 use x100_ir::{build_index_streaming, IndexConfig, InvertedIndex, QueryExecutor, SearchStrategy};
 use x100_storage::{BufferManager, BufferMode, DiskModel};
 
 const TOP_N: usize = 20;
+/// `--mixed` class boundary: queries with at most this many terms are
+/// "short" and ride the priority lane.
+const SHORT_MAX_TERMS: usize = 2;
+/// Term count of the long disjunctive class in `--mixed`.
+const LONG_QUERY_TERMS: usize = 8;
 
 fn take_workers_flag(args: &mut Vec<String>) -> Vec<usize> {
     let Some(spec) = take_flag_value(args, "--workers") else {
@@ -126,6 +140,78 @@ fn percentiles_json(report: &ServeReport) -> Vec<(&'static str, Json)> {
     ]
 }
 
+/// The `--mixed` workload: short (1–2 term) and long (8-term disjunctive)
+/// Zipfian queries interleaved 1:1 — the traffic shape where size-aware
+/// two-lane admission pays, because a short lookup otherwise queues behind
+/// multi-list disjunctions. Deterministic in `seed` like the plain log.
+fn mixed_query_log(base: &QueryLogConfig, vocab_size: usize, seed: u64, n: usize) -> Vec<Vec<u32>> {
+    let short_cfg = QueryLogConfig {
+        avg_terms: 1.5,
+        max_terms: SHORT_MAX_TERMS,
+        ..base.clone()
+    };
+    let long_cfg = QueryLogConfig {
+        avg_terms: LONG_QUERY_TERMS as f64,
+        max_terms: LONG_QUERY_TERMS,
+        ..base.clone()
+    };
+    let target_long = LONG_QUERY_TERMS.min(vocab_size);
+    let mut short_gen = QueryLogGenerator::new(short_cfg, vocab_size, seed);
+    let mut long_gen = QueryLogGenerator::new(long_cfg, vocab_size, seed ^ 0x9E37_79B9);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                short_gen.next().expect("generator is endless")
+            } else {
+                // The generator's geometric length draw tops out below 8;
+                // merge draws until the query has its full distinct-term
+                // complement.
+                let mut terms = long_gen.next().expect("generator is endless");
+                terms.truncate(target_long);
+                while terms.len() < target_long {
+                    for t in long_gen.next().expect("generator is endless") {
+                        if !terms.contains(&t) {
+                            terms.push(t);
+                            if terms.len() == target_long {
+                                break;
+                            }
+                        }
+                    }
+                }
+                terms
+            }
+        })
+        .collect()
+}
+
+/// Splits a report's end-to-end latencies by query class, `(short, long)`.
+fn class_histograms(
+    report: &ServeReport,
+    queries: &[Vec<u32>],
+) -> (LatencyHistogram, LatencyHistogram) {
+    let mut short = LatencyHistogram::new();
+    let mut long = LatencyHistogram::new();
+    for o in &report.outcomes {
+        if queries[o.id].len() <= SHORT_MAX_TERMS {
+            short.record(o.latency);
+        } else {
+            long.record(o.latency);
+        }
+    }
+    (short, long)
+}
+
+fn class_json(label: &'static str, h: &LatencyHistogram) -> (&'static str, Json) {
+    (
+        label,
+        Json::obj(vec![
+            ("count", Json::Num(h.count() as f64)),
+            ("latency_p50_ms", Json::Num(h.p50().as_secs_f64() * 1e3)),
+            ("latency_p99_ms", Json::Num(h.p99().as_secs_f64() * 1e3)),
+        ]),
+    )
+}
+
 /// Removes a boolean flag from `args`, returning whether it was present.
 fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
     match args.iter().position(|a| a == flag) {
@@ -147,6 +233,11 @@ fn main() {
     let nodes_flag = take_flag_value(&mut args, "--nodes");
     let replicas = take_usize_flag_or_exit(&mut args, "--replicas", 2);
     let kill_node = take_bool_flag(&mut args, "--kill-node");
+    let mixed = take_bool_flag(&mut args, "--mixed");
+    if mixed && nodes_flag.is_some() {
+        eprintln!("error: --mixed is a single-node workload; drop --nodes");
+        std::process::exit(2);
+    }
     if let Some(unknown) = args.first() {
         eprintln!("error: unknown argument {unknown:?}");
         std::process::exit(2);
@@ -218,15 +309,25 @@ fn main() {
         }
     };
     let index = Arc::new(index);
-    // Reopened segments may predate score materialization; serve with the
-    // fastest strategy the index actually supports.
-    let strategy = if index.has_materialized_scores() {
-        SearchStrategy::Bm25Materialized
-    } else {
-        SearchStrategy::Bm25TwoPass
+    // Reopened segments may predate score materialization (or block-max
+    // metadata); serve with the fastest strategy the index actually
+    // supports. The mixed workload's long disjunctions are where dynamic
+    // pruning pays, so `--mixed` picks the pruned variant when the index
+    // carries block-max metadata — pruned results are bit-identical, so
+    // the reference comparison below is unchanged in meaning.
+    let strategy = match (
+        mixed && index.block_max().is_some(),
+        index.has_materialized_scores(),
+    ) {
+        (true, true) => SearchStrategy::Bm25MaterializedPruned,
+        (true, false) => SearchStrategy::Bm25Pruned,
+        (false, true) => SearchStrategy::Bm25Materialized,
+        (false, false) => SearchStrategy::Bm25TwoPass,
     };
     let strategy_name = match strategy {
         SearchStrategy::Bm25Materialized => "bm25_materialized",
+        SearchStrategy::Bm25MaterializedPruned => "bm25_materialized_pruned",
+        SearchStrategy::Bm25Pruned => "bm25_pruned",
         _ => "bm25_two_pass",
     };
     let build_s = t0.elapsed().as_secs_f64();
@@ -249,9 +350,13 @@ fn main() {
     } else {
         cfg.vocab_size
     };
-    let queries: Vec<Vec<u32>> = QueryLogGenerator::new(cfg.query_log.clone(), vocab_size, seed)
-        .take(num_queries)
-        .collect();
+    let queries: Vec<Vec<u32>> = if mixed {
+        mixed_query_log(&cfg.query_log, vocab_size, seed, num_queries)
+    } else {
+        QueryLogGenerator::new(cfg.query_log.clone(), vocab_size, seed)
+            .take(num_queries)
+            .collect()
+    };
 
     // Single-threaded reference: the ground truth every concurrent run
     // must reproduce bit-identically.
@@ -269,25 +374,38 @@ fn main() {
         })
         .collect();
 
-    let mut table = TablePrinter::new(&[
-        "workers",
-        "qps",
-        "p50 ms",
-        "p95 ms",
-        "p99 ms",
-        "queue p95 ms",
-        "io sim ms",
-    ]);
+    let mut table = if mixed {
+        TablePrinter::new(&[
+            "workers",
+            "qps",
+            "short p50 ms",
+            "short p99 ms",
+            "long p50 ms",
+            "long p99 ms",
+            "io sim ms",
+        ])
+    } else {
+        TablePrinter::new(&[
+            "workers",
+            "qps",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "queue p95 ms",
+            "io sim ms",
+        ])
+    };
     let mut sweep_json = Vec::new();
     let mut qps_by_workers: Vec<(usize, f64)> = Vec::new();
     for &workers in &workers_sweep {
         let exec = cold_executor(&index, pool_capacity, true);
-        let run_cfg = ServeConfig {
-            workers,
-            queue_depth: workers * 2,
-            strategy,
-            top_n: TOP_N,
-        };
+        let mut run_cfg = ServeConfig::new(workers);
+        run_cfg.queue_depth = workers * 2;
+        run_cfg.strategy = strategy;
+        run_cfg.top_n = TOP_N;
+        if mixed {
+            run_cfg.short_query_max_terms = Some(SHORT_MAX_TERMS);
+        }
         let report = run_closed_loop(&exec, &run_cfg, &queries);
         assert_eq!(report.completed, queries.len());
         for (i, outcome) in report.outcomes.iter().enumerate() {
@@ -301,17 +419,32 @@ fn main() {
             report.qps,
             report.latency.p99().as_secs_f64() * 1e3
         );
-        table.push_row(vec![
-            workers.to_string(),
-            format!("{:.1}", report.qps),
-            format!("{:.2}", report.latency.p50().as_secs_f64() * 1e3),
-            format!("{:.2}", report.latency.p95().as_secs_f64() * 1e3),
-            format!("{:.2}", report.latency.p99().as_secs_f64() * 1e3),
-            format!("{:.2}", report.queue_wait.p95().as_secs_f64() * 1e3),
-            format!("{:.0}", report.io.sim_time.as_secs_f64() * 1e3),
-        ]);
         let mut entry = vec![("workers", Json::Num(workers as f64))];
         entry.extend(percentiles_json(&report));
+        if mixed {
+            let (short_h, long_h) = class_histograms(&report, &queries);
+            table.push_row(vec![
+                workers.to_string(),
+                format!("{:.1}", report.qps),
+                format!("{:.2}", short_h.p50().as_secs_f64() * 1e3),
+                format!("{:.2}", short_h.p99().as_secs_f64() * 1e3),
+                format!("{:.2}", long_h.p50().as_secs_f64() * 1e3),
+                format!("{:.2}", long_h.p99().as_secs_f64() * 1e3),
+                format!("{:.0}", report.io.sim_time.as_secs_f64() * 1e3),
+            ]);
+            entry.push(class_json("short", &short_h));
+            entry.push(class_json("long", &long_h));
+        } else {
+            table.push_row(vec![
+                workers.to_string(),
+                format!("{:.1}", report.qps),
+                format!("{:.2}", report.latency.p50().as_secs_f64() * 1e3),
+                format!("{:.2}", report.latency.p95().as_secs_f64() * 1e3),
+                format!("{:.2}", report.latency.p99().as_secs_f64() * 1e3),
+                format!("{:.2}", report.queue_wait.p95().as_secs_f64() * 1e3),
+                format!("{:.0}", report.io.sim_time.as_secs_f64() * 1e3),
+            ]);
+        }
         entry.push(("identical_to_sequential", Json::Bool(true)));
         sweep_json.push(Json::obj(entry));
         qps_by_workers.push((workers, report.qps));
@@ -350,12 +483,13 @@ fn main() {
     let open_rate = best_qps * 0.6;
     let open_json = if open_rate > 0.0 {
         let exec = cold_executor(&index, pool_capacity, true);
-        let run_cfg = ServeConfig {
-            workers: open_workers,
-            queue_depth: open_workers * 2,
-            strategy,
-            top_n: TOP_N,
-        };
+        let mut run_cfg = ServeConfig::new(open_workers);
+        run_cfg.queue_depth = open_workers * 2;
+        run_cfg.strategy = strategy;
+        run_cfg.top_n = TOP_N;
+        if mixed {
+            run_cfg.short_query_max_terms = Some(SHORT_MAX_TERMS);
+        }
         let report = run_open_loop(&exec, &run_cfg, &queries, open_rate);
         eprintln!(
             "open loop at {open_rate:.0} q/s, {open_workers} workers: p50 {:.1} ms, p99 {:.1} ms",
@@ -367,6 +501,11 @@ fn main() {
             ("arrival_rate_qps", Json::Num(open_rate)),
         ];
         entry.extend(percentiles_json(&report));
+        if mixed {
+            let (short_h, long_h) = class_histograms(&report, &queries);
+            entry.push(class_json("short", &short_h));
+            entry.push(class_json("long", &long_h));
+        }
         Json::obj(entry)
     } else {
         Json::Null
@@ -377,12 +516,26 @@ fn main() {
     } else {
         "in-memory build"
     };
-    println!("\nServe bench — {scale}, strategy {strategy_name}, {mode}:");
+    let workload = if mixed {
+        ", mixed short/long workload (two-lane admission)"
+    } else {
+        ""
+    };
+    println!("\nServe bench — {scale}, strategy {strategy_name}, {mode}{workload}:");
     print!("{}", table.render());
 
     let doc = Json::obj(vec![
         ("bench", Json::str("serve_bench")),
         ("scale", Json::str(scale.name())),
+        ("mixed", Json::Bool(mixed)),
+        (
+            "short_lane_max_terms",
+            if mixed {
+                Json::Num(SHORT_MAX_TERMS as f64)
+            } else {
+                Json::Null
+            },
+        ),
         ("num_docs", Json::Num(cfg.num_docs as f64)),
         ("vocab_size", Json::Num(vocab_size as f64)),
         ("num_queries", Json::Num(num_queries as f64)),
@@ -496,12 +649,10 @@ fn run_networked(
     let mut qps_by_workers: Vec<(usize, f64)> = Vec::new();
     let mut kill_pending = kill_node;
     for &workers in workers_sweep {
-        let run_cfg = ServeConfig {
-            workers,
-            queue_depth: workers * 2,
-            strategy,
-            top_n: TOP_N,
-        };
+        let mut run_cfg = ServeConfig::new(workers);
+        run_cfg.queue_depth = workers * 2;
+        run_cfg.strategy = strategy;
+        run_cfg.top_n = TOP_N;
         let before = coordinator.stats();
         // The injected fault: one replica of partition 0 dies mid-run of
         // the first sweep point, while queries are in flight.

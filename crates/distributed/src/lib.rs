@@ -42,6 +42,6 @@ pub use net::{
 pub use partition::{partition_collection, partition_of, Partition};
 pub use schedule::{simulate_run, JitterModel, RunConfig, RunStats};
 pub use serve::{
-    run_closed_loop, run_open_loop, AdmissionQueue, LatencyHistogram, QueryOutcome, QueryService,
-    ServeConfig, ServeReport, ServedQuery,
+    run_closed_loop, run_open_loop, AdmissionQueue, Lane, LatencyHistogram, QueryOutcome,
+    QueryService, ServeConfig, ServeReport, ServedQuery, TwoLaneQueue,
 };

@@ -164,6 +164,171 @@ impl<T> AdmissionQueue<T> {
 }
 
 // ---------------------------------------------------------------------------
+// Two-lane admission queue
+// ---------------------------------------------------------------------------
+
+/// Which admission lane a job rides: `Short` is the priority lane for
+/// small (cheap) queries, `Long` carries the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Priority lane for short queries.
+    Short,
+    /// Default lane for long queries.
+    Long,
+}
+
+struct TwoLaneState<T> {
+    short: VecDeque<T>,
+    long: VecDeque<T>,
+    closed: bool,
+    /// Consecutive short-lane dequeues since the long lane was last
+    /// served (or found empty).
+    short_run: usize,
+}
+
+/// A bounded two-lane MPMC queue: the short lane is dequeued
+/// preferentially so cheap queries are not stuck behind expensive ones,
+/// but the long lane is **starvation-free** — whenever it is non-empty, at
+/// least one of every `guarantee` consecutive dequeues takes from it.
+/// Each lane is independently bounded at `capacity`, pushes block per
+/// lane, and closing behaves exactly like [`AdmissionQueue::close`]: no
+/// further admissions, pending items in both lanes still drain.
+pub struct TwoLaneQueue<T> {
+    capacity: usize,
+    guarantee: usize,
+    state: Mutex<TwoLaneState<T>>,
+    not_empty: Condvar,
+    not_full_short: Condvar,
+    not_full_long: Condvar,
+}
+
+impl<T> TwoLaneQueue<T> {
+    /// A queue admitting at most `capacity` undelivered items *per lane*,
+    /// serving the long lane at least once per `guarantee` dequeues while
+    /// it has items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `guarantee == 0`.
+    pub fn new(capacity: usize, guarantee: usize) -> Self {
+        assert!(capacity > 0, "two-lane queue needs capacity at least 1");
+        assert!(
+            guarantee > 0,
+            "long-lane guarantee must be at least every 1st dequeue"
+        );
+        TwoLaneQueue {
+            capacity,
+            guarantee,
+            state: Mutex::new(TwoLaneState {
+                short: VecDeque::with_capacity(capacity),
+                long: VecDeque::with_capacity(capacity),
+                closed: false,
+                short_run: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full_short: Condvar::new(),
+            not_full_long: Condvar::new(),
+        }
+    }
+
+    fn lane_condvar(&self, lane: Lane) -> &Condvar {
+        match lane {
+            Lane::Short => &self.not_full_short,
+            Lane::Long => &self.not_full_long,
+        }
+    }
+
+    /// Enqueues `item` on `lane`, blocking while that lane is full.
+    /// Returns the item back as `Err` if the queue was closed before space
+    /// appeared.
+    pub fn push(&self, lane: Lane, item: T) -> Result<(), T> {
+        match self.push_impl(lane, || item) {
+            Ok(()) => Ok(()),
+            Err(make) => Err(make()),
+        }
+    }
+
+    /// Like [`Self::push`], but constructs the item at admission time,
+    /// under the queue lock, after any backpressure wait — the two-lane
+    /// analogue of [`AdmissionQueue::push_with`]. Returns `false` if the
+    /// queue closed before space appeared (`make` is not called).
+    pub fn push_with(&self, lane: Lane, make: impl FnOnce() -> T) -> bool {
+        self.push_impl(lane, make).is_ok()
+    }
+
+    fn push_impl<F: FnOnce() -> T>(&self, lane: Lane, make: F) -> Result<(), F> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.closed {
+                return Err(make);
+            }
+            let items = match lane {
+                Lane::Short => &mut st.short,
+                Lane::Long => &mut st.long,
+            };
+            if items.len() < self.capacity {
+                items.push_back(make());
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .lane_condvar(lane)
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues the next item honoring the lane policy, blocking while
+    /// both lanes are empty and the queue is open. Returns `None` once
+    /// closed *and* drained. Also reports which lane served the item.
+    pub fn pop(&self) -> Option<(Lane, T)> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let take_long = if st.long.is_empty() {
+                false
+            } else {
+                // Long lane has work: take it when the short lane is idle
+                // or when the anti-starvation quota comes due.
+                st.short.is_empty() || st.short_run + 1 >= self.guarantee
+            };
+            let (lane, item) = if take_long {
+                (Lane::Long, st.long.pop_front())
+            } else {
+                (Lane::Short, st.short.pop_front())
+            };
+            if let Some(item) = item {
+                match lane {
+                    Lane::Short => st.short_run += 1,
+                    Lane::Long => st.short_run = 0,
+                }
+                drop(st);
+                self.lane_condvar(lane).notify_one();
+                return Some((lane, item));
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: no further pushes on either lane; pending items
+    /// still drain through `pop`.
+    pub fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.not_empty.notify_all();
+        self.not_full_short.notify_all();
+        self.not_full_long.notify_all();
+    }
+
+    /// Undelivered items currently queued, `(short, long)`.
+    pub fn lane_lens(&self) -> (usize, usize) {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        (st.short.len(), st.long.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Latency histogram
 // ---------------------------------------------------------------------------
 
@@ -438,18 +603,37 @@ pub struct ServeConfig {
     pub strategy: SearchStrategy,
     /// Top-N to retrieve per query.
     pub top_n: usize,
+    /// When `Some(t)`, admission becomes two-lane: queries with at most
+    /// `t` terms ride a priority lane so cheap lookups are not stuck
+    /// behind expensive disjunctions (each lane is bounded at
+    /// `queue_depth`). `None` keeps the single FIFO lane.
+    pub short_query_max_terms: Option<usize>,
+    /// Anti-starvation bound for the two-lane mode: while the long lane
+    /// has work, at least one of every this-many dequeues serves it.
+    pub long_lane_guarantee: usize,
 }
 
 impl ServeConfig {
     /// A config for `workers` threads with conventional defaults: queue
-    /// depth `2 × workers`, [`SearchStrategy::Bm25TwoPass`], top-20.
+    /// depth `2 × workers`, [`SearchStrategy::Bm25TwoPass`], top-20,
+    /// single-lane admission.
     pub fn new(workers: usize) -> Self {
         ServeConfig {
             workers,
             queue_depth: workers.max(1) * 2,
             strategy: SearchStrategy::Bm25TwoPass,
             top_n: 20,
+            short_query_max_terms: None,
+            long_lane_guarantee: 4,
         }
+    }
+
+    /// Builder-style switch to two-lane admission: queries with at most
+    /// `max_terms` terms take the priority lane.
+    #[must_use]
+    pub fn with_short_lane(mut self, max_terms: usize) -> Self {
+        self.short_query_max_terms = Some(max_terms);
+        self
     }
 }
 
@@ -557,6 +741,69 @@ pub fn run_open_loop<S: QueryService + Clone>(
     run(service, config, queries, Some(rate_qps))
 }
 
+/// The admission frontend `run` drives: a single FIFO, or the two-lane
+/// priority queue when [`ServeConfig::short_query_max_terms`] is set.
+/// Both present the same push/pop/close contract to the load loop.
+enum JobQueue {
+    Single(AdmissionQueue<QueryJob>),
+    TwoLane {
+        lanes: TwoLaneQueue<QueryJob>,
+        max_terms: usize,
+    },
+}
+
+impl JobQueue {
+    fn for_config(config: &ServeConfig) -> Self {
+        match config.short_query_max_terms {
+            Some(max_terms) => JobQueue::TwoLane {
+                lanes: TwoLaneQueue::new(config.queue_depth, config.long_lane_guarantee),
+                max_terms,
+            },
+            None => JobQueue::Single(AdmissionQueue::new(config.queue_depth)),
+        }
+    }
+
+    fn push(&self, n_terms: usize, job: QueryJob) -> Result<(), QueryJob> {
+        match self {
+            JobQueue::Single(q) => q.push(job),
+            JobQueue::TwoLane { lanes, max_terms } => {
+                lanes.push(lane_for(n_terms, *max_terms), job)
+            }
+        }
+    }
+
+    fn push_with(&self, n_terms: usize, make: impl FnOnce() -> QueryJob) -> bool {
+        match self {
+            JobQueue::Single(q) => q.push_with(make),
+            JobQueue::TwoLane { lanes, max_terms } => {
+                lanes.push_with(lane_for(n_terms, *max_terms), make)
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<QueryJob> {
+        match self {
+            JobQueue::Single(q) => q.pop(),
+            JobQueue::TwoLane { lanes, .. } => lanes.pop().map(|(_, job)| job),
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            JobQueue::Single(q) => q.close(),
+            JobQueue::TwoLane { lanes, .. } => lanes.close(),
+        }
+    }
+}
+
+fn lane_for(n_terms: usize, max_terms: usize) -> Lane {
+    if n_terms <= max_terms {
+        Lane::Short
+    } else {
+        Lane::Long
+    }
+}
+
 fn run<S: QueryService + Clone>(
     service: &S,
     config: &ServeConfig,
@@ -564,7 +811,7 @@ fn run<S: QueryService + Clone>(
     arrival_rate: Option<f64>,
 ) -> ServeReport {
     assert!(config.workers > 0, "at least one worker required");
-    let queue: AdmissionQueue<QueryJob> = AdmissionQueue::new(config.queue_depth);
+    let queue = JobQueue::for_config(config);
     let slots: Vec<Mutex<Option<QueryOutcome>>> =
         (0..queries.len()).map(|_| Mutex::new(None)).collect();
     let io_before = service.io_stats();
@@ -574,8 +821,8 @@ fn run<S: QueryService + Clone>(
     /// never strand the load generator in a blocking `push` with no
     /// consumers left (closing an already-closed queue is a no-op, so the
     /// normal exit path is unaffected).
-    struct CloseOnDrop<'a, T>(&'a AdmissionQueue<T>);
-    impl<T> Drop for CloseOnDrop<'_, T> {
+    struct CloseOnDrop<'a>(&'a JobQueue);
+    impl Drop for CloseOnDrop<'_> {
         fn drop(&mut self) {
             self.0.close();
         }
@@ -620,18 +867,21 @@ fn run<S: QueryService + Clone>(
                         std::thread::sleep(wait);
                     }
                     queue
-                        .push(QueryJob {
-                            id,
-                            terms: terms.clone(),
-                            scheduled: target,
-                            submitted: Instant::now(),
-                        })
+                        .push(
+                            terms.len(),
+                            QueryJob {
+                                id,
+                                terms: terms.clone(),
+                                scheduled: target,
+                                submitted: Instant::now(),
+                            },
+                        )
                         .is_ok()
                 }
                 // Closed loop: the query exists only once the bounded
                 // queue admits it, so both clocks start at admission —
                 // inside `push_with`, after any backpressure wait.
-                None => queue.push_with(|| {
+                None => queue.push_with(terms.len(), || {
                     let now = Instant::now();
                     QueryJob {
                         id,
@@ -784,6 +1034,151 @@ mod tests {
         assert_eq!(queue.pop(), Some(1)); // space appears after close
         assert_eq!(pusher.join().unwrap(), Err(2));
         assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn two_lane_short_queries_overtake_queued_long() {
+        let q: TwoLaneQueue<u32> = TwoLaneQueue::new(4, 3);
+        q.push(Lane::Long, 100).unwrap();
+        q.push(Lane::Long, 101).unwrap();
+        q.push(Lane::Short, 1).unwrap();
+        q.push(Lane::Short, 2).unwrap();
+        // The later-arriving short jobs drain first; within a lane, FIFO.
+        assert_eq!(q.pop(), Some((Lane::Short, 1)));
+        assert_eq!(q.pop(), Some((Lane::Short, 2)));
+        assert_eq!(q.pop(), Some((Lane::Long, 100)));
+        assert_eq!(q.pop(), Some((Lane::Long, 101)));
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn two_lane_long_lane_is_starvation_free() {
+        // A constantly replenished short lane must not starve the long
+        // lane: with guarantee N = 4, a queued long job is dequeued within
+        // 4 pops even though a short job is always available.
+        let q: TwoLaneQueue<u32> = TwoLaneQueue::new(8, 4);
+        q.push(Lane::Long, 999).unwrap();
+        let mut next_short = 0u32;
+        for _ in 0..6 {
+            q.push(Lane::Short, next_short).unwrap();
+            next_short += 1;
+        }
+        let mut dequeues = 0;
+        loop {
+            let (lane, v) = q.pop().expect("queue is non-empty");
+            dequeues += 1;
+            // Refill so the short lane never empties — priority alone
+            // would then never reach the long lane.
+            q.push(Lane::Short, next_short).unwrap();
+            next_short += 1;
+            if lane == Lane::Long {
+                assert_eq!(v, 999);
+                break;
+            }
+            assert!(
+                dequeues < 4,
+                "long job starved past the guarantee: {dequeues} short dequeues"
+            );
+        }
+        assert!(dequeues <= 4);
+    }
+
+    #[test]
+    fn two_lane_delivers_every_item_exactly_once() {
+        let q: Arc<TwoLaneQueue<usize>> = Arc::new(TwoLaneQueue::new(4, 3));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let q = q.clone();
+                let seen = seen.clone();
+                s.spawn(move || {
+                    while let Some((_, v)) = q.pop() {
+                        seen.lock().unwrap().push(v);
+                    }
+                });
+            }
+            for v in 0..100 {
+                let lane = if v % 3 == 0 { Lane::Long } else { Lane::Short };
+                q.push(lane, v).unwrap();
+            }
+            q.close();
+        });
+        let mut got = seen.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_lane_close_unparks_blocked_pushers_with_clean_rejection() {
+        // The depth-1 close-vs-push pin, per lane: a submitter parked on
+        // each full lane observes `close()` and gets a clean rejection —
+        // item handed back (or closure never run), no deadlock — while the
+        // already-admitted items still drain.
+        let q: Arc<TwoLaneQueue<u32>> = Arc::new(TwoLaneQueue::new(1, 2));
+        q.push(Lane::Short, 1).unwrap();
+        q.push(Lane::Long, 2).unwrap();
+        let short_pusher = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(Lane::Short, 3))
+        };
+        let long_pusher = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push_with(Lane::Long, || 4))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(
+            short_pusher.join().unwrap(),
+            Err(3),
+            "parked short-lane push must be rejected with its item returned"
+        );
+        assert!(
+            !long_pusher.join().unwrap(),
+            "parked long-lane push_with must report rejection"
+        );
+        assert_eq!(q.pop(), Some((Lane::Short, 1)));
+        assert_eq!(q.pop(), Some((Lane::Long, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn two_lane_close_rejects_parked_pusher_even_when_space_appears_first() {
+        // Mirror of the single-lane pin: the queue is closed and drained
+        // while the pusher is parked, so it wakes to free space — the
+        // closed check must still win or the item would be stranded.
+        let q: Arc<TwoLaneQueue<u32>> = Arc::new(TwoLaneQueue::new(1, 2));
+        q.push(Lane::Short, 1).unwrap();
+        let pusher = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(Lane::Short, 2))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(q.pop(), Some((Lane::Short, 1))); // space appears after close
+        assert_eq!(pusher.join().unwrap(), Err(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn two_lane_serving_run_matches_single_lane_results() {
+        // Lane routing changes *when* a query is served, never *what* it
+        // returns: every outcome is bit-identical to the single-lane run.
+        let (queries, exec) = tiny_service();
+        let mut cfg = ServeConfig::new(2);
+        cfg.top_n = 10;
+        let reference = run_closed_loop(&exec, &cfg, &queries);
+        let cfg = cfg.with_short_lane(2);
+        let report = run_closed_loop(&exec, &cfg, &queries);
+        assert_eq!(report.completed, queries.len());
+        for (a, b) in report.outcomes.iter().zip(&reference.outcomes) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.hits, b.hits,
+                "two-lane serving diverged on query {}",
+                a.id
+            );
+        }
     }
 
     #[test]

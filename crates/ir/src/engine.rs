@@ -48,17 +48,28 @@ pub enum SearchStrategy {
     Bm25Materialized,
     /// Materialized scores + two-pass.
     Bm25MaterializedTwoPass,
+    /// Computed BM25 with block-max dynamic pruning: MaxScore partitioning
+    /// plus per-stride upper bounds skip postings that cannot reach the
+    /// top-`n`, bit-identical to [`SearchStrategy::Bm25`]. Indexes without
+    /// block-max metadata fall back to the exhaustive plan.
+    Bm25Pruned,
+    /// Materialized scores with block-max pruning; bit-identical to
+    /// [`SearchStrategy::Bm25Materialized`].
+    Bm25MaterializedPruned,
 }
 
 impl SearchStrategy {
-    /// Every strategy of the Table 2 ladder, in ladder order.
-    pub const ALL: [SearchStrategy; 6] = [
+    /// Every strategy of the Table 2 ladder, in ladder order, followed by
+    /// the pruned execution modes.
+    pub const ALL: [SearchStrategy; 8] = [
         SearchStrategy::BoolAnd,
         SearchStrategy::BoolOr,
         SearchStrategy::Bm25,
         SearchStrategy::Bm25TwoPass,
         SearchStrategy::Bm25Materialized,
         SearchStrategy::Bm25MaterializedTwoPass,
+        SearchStrategy::Bm25Pruned,
+        SearchStrategy::Bm25MaterializedPruned,
     ];
 
     /// The strategy's stable one-byte tag on the network wire. Tags are
@@ -72,6 +83,8 @@ impl SearchStrategy {
             SearchStrategy::Bm25TwoPass => 3,
             SearchStrategy::Bm25Materialized => 4,
             SearchStrategy::Bm25MaterializedTwoPass => 5,
+            SearchStrategy::Bm25Pruned => 6,
+            SearchStrategy::Bm25MaterializedPruned => 7,
         }
     }
 
@@ -86,7 +99,17 @@ impl SearchStrategy {
     pub fn needs_materialized(self) -> bool {
         matches!(
             self,
-            SearchStrategy::Bm25Materialized | SearchStrategy::Bm25MaterializedTwoPass
+            SearchStrategy::Bm25Materialized
+                | SearchStrategy::Bm25MaterializedTwoPass
+                | SearchStrategy::Bm25MaterializedPruned
+        )
+    }
+
+    /// Whether the strategy uses block-max dynamic pruning.
+    pub fn is_pruned(self) -> bool {
+        matches!(
+            self,
+            SearchStrategy::Bm25Pruned | SearchStrategy::Bm25MaterializedPruned
         )
     }
 
@@ -250,8 +273,15 @@ impl<'a> QueryEngine<'a> {
             match strategy {
                 SearchStrategy::BoolAnd => self.run_boolean(&terms, n, true)?,
                 SearchStrategy::BoolOr => self.run_boolean(&terms, n, false)?,
-                SearchStrategy::Bm25 => self.run_ranked(&terms, n, false)?,
-                SearchStrategy::Bm25Materialized => self.run_ranked(&terms, n, true)?,
+                // The oracle for the pruned modes is the exhaustive
+                // disjunctive plan: pruning is an execution detail that must
+                // not change a single output bit.
+                SearchStrategy::Bm25 | SearchStrategy::Bm25Pruned => {
+                    self.run_ranked(&terms, n, false)?
+                }
+                SearchStrategy::Bm25Materialized | SearchStrategy::Bm25MaterializedPruned => {
+                    self.run_ranked(&terms, n, true)?
+                }
                 SearchStrategy::Bm25TwoPass | SearchStrategy::Bm25MaterializedTwoPass => {
                     let materialized = strategy.needs_materialized();
                     // Pass 1: conjunctive. A document containing all query
@@ -662,67 +692,66 @@ impl<'a> QueryEngine<'a> {
         term_ids: &[u32],
         n: usize,
     ) -> Result<SearchResponse, ExecError> {
-        let terms: Vec<u32> = term_ids
+        let mut scratch = QueryScratch::new();
+        self.search_conjunctive_skipping_with_scratch(term_ids, n, &mut scratch)
+    }
+
+    /// [`Self::search_conjunctive_skipping`] reusing a caller-held scratch
+    /// arena — the skipping intersection, per-match scoring and top-k heap
+    /// all run inside the arena's cursors and buffers, so a warm query
+    /// allocates only for the materialized response.
+    pub fn search_conjunctive_skipping_with_scratch(
+        &self,
+        term_ids: &[u32],
+        n: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<SearchResponse, ExecError> {
+        let mut hits = std::mem::take(&mut scratch.hits);
+        let meta = self.search_conjunctive_skipping_hits_into(term_ids, n, scratch, &mut hits);
+        let results = hits
             .iter()
-            .copied()
-            .filter(|&t| !self.index.term_range(t).is_empty())
-            .collect();
-        let io_before = self.buffers.stats();
-        let started = Instant::now();
-
-        // Unknown/empty terms are inert, matching `search`'s convention.
-        let mut scored: Vec<(u32, f32)> = Vec::new();
-        if !terms.is_empty() {
-            let matches =
-                crate::skipping::intersect_skipping(self.index, &self.buffers, &terms, usize::MAX)
-                    .map_err(ExecError::from)?;
-            // Score each candidate: gather tf per term at its TD row.
-            let params = self.index.config().params;
-            let stats = self.index.stats();
-            let tf_col = self.index.td().column("tf").map_err(ExecError::from)?;
-            let mut window = Vec::new();
-            let mut tf_at = |row: usize| -> Result<u32, ExecError> {
-                // Rows arrive in increasing order per term but interleaved
-                // across terms; a tiny per-call range decode keeps this
-                // simple and correct (the skipping win is on the docid
-                // column, which dominates the volume).
-                let aligned = row - row % x100_compress::ENTRY_POINT_STRIDE;
-                let len = x100_compress::ENTRY_POINT_STRIDE.min(tf_col.len() - aligned);
-                tf_col
-                    .read_range(aligned, len, &mut window)
-                    .map_err(ExecError::from)?;
-                Ok(window[row - aligned])
-            };
-            for (docid, rows) in matches {
-                let mut score = 0.0f32;
-                for (ti, &row) in rows.iter().enumerate() {
-                    score += crate::bm25::term_weight(
-                        params,
-                        stats,
-                        self.index.doc_freq(terms[ti]),
-                        tf_at(row)?,
-                        self.index.doc_lens()[docid as usize] as u32,
-                    );
-                }
-                scored.push((docid, score));
-            }
-            // Descending score, docid tie-break — matching TopN's rule.
-            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-            scored.truncate(n);
-        }
-
-        let cpu_time = started.elapsed();
-        let io = self.buffers.stats().delta_since(&io_before);
-        let results = scored
-            .into_iter()
-            .map(|(docid, score)| SearchResult {
+            .map(|&(docid, score)| SearchResult {
                 docid,
                 score,
                 name: self.index.doc_name(docid).unwrap_or_default(),
             })
             .collect();
+        scratch.hits = hits;
+        let meta = meta?;
         Ok(SearchResponse {
             results,
+            passes: meta.passes,
+            io: meta.io,
+            cpu_time: meta.cpu_time,
+        })
+    }
+
+    /// The allocation-free core of the skipping conjunctive path: fills
+    /// `out` (cleared first) with up to `n` `(docid, score)` hits, best
+    /// first, reusing the scratch arena's cursors for the galloping
+    /// leapfrog. Steady state performs zero heap allocations — pinned by
+    /// `tests/hot_path_allocs.rs`.
+    pub fn search_conjunctive_skipping_hits_into(
+        &self,
+        term_ids: &[u32],
+        n: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<(u32, f32)>,
+    ) -> Result<HitsResponse, ExecError> {
+        let io_before = self.buffers.stats();
+        let started = Instant::now();
+        crate::hot::conjunctive_skipping_into(
+            self.index,
+            &self.buffers,
+            self.vector_size,
+            term_ids,
+            n,
+            scratch,
+            out,
+        )?;
+        let cpu_time = started.elapsed();
+        let io = self.buffers.stats().delta_since(&io_before);
+        Ok(HitsResponse {
             passes: 1,
             io,
             cpu_time,
@@ -746,6 +775,11 @@ impl<'a> QueryEngine<'a> {
             SearchStrategy::Bm25TwoPass | SearchStrategy::Bm25MaterializedTwoPass => {
                 "MergeJoin|MergeOuterJoin"
             }
+            // The pruned modes keep the outer-join shape; the block-max
+            // skip is surfaced as a ScanSelect annotation below.
+            SearchStrategy::Bm25Pruned | SearchStrategy::Bm25MaterializedPruned => {
+                "MergeOuterJoin[blockmax-skip]"
+            }
         };
         let mut tree = scans.remove(0);
         for s in scans {
@@ -753,10 +787,14 @@ impl<'a> QueryEngine<'a> {
         }
         match strategy {
             SearchStrategy::BoolAnd | SearchStrategy::BoolOr => tree,
-            SearchStrategy::Bm25 | SearchStrategy::Bm25TwoPass => format!(
-                "TopN(\n Project(\n  {tree}\n  [ D.docname, score=BM25(tf, D.doclen, ftd) ]),\n [ score DESC ], {n})"
-            ),
-            SearchStrategy::Bm25Materialized | SearchStrategy::Bm25MaterializedTwoPass => {
+            SearchStrategy::Bm25 | SearchStrategy::Bm25TwoPass | SearchStrategy::Bm25Pruned => {
+                format!(
+                    "TopN(\n Project(\n  {tree}\n  [ D.docname, score=BM25(tf, D.doclen, ftd) ]),\n [ score DESC ], {n})"
+                )
+            }
+            SearchStrategy::Bm25Materialized
+            | SearchStrategy::Bm25MaterializedTwoPass
+            | SearchStrategy::Bm25MaterializedPruned => {
                 format!(
                     "TopN(\n Project(\n  {tree}\n  [ docid, score=SUM(TD.score) ]),\n [ score DESC ], {n})"
                 )

@@ -185,6 +185,30 @@ impl QueryExecutor {
             .search_hits_into(term_ids, strategy, n, &mut scratch, out)
     }
 
+    /// Conjunctive BM25 via the skipping access path, through this
+    /// executor's scratch arena. See
+    /// [`QueryEngine::search_conjunctive_skipping_hits_into`].
+    pub fn search_conjunctive_skipping_hits_into(
+        &self,
+        term_ids: &[u32],
+        n: usize,
+        out: &mut Vec<(u32, f32)>,
+    ) -> Result<HitsResponse, ExecError> {
+        let mut scratch = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        self.engine()
+            .search_conjunctive_skipping_hits_into(term_ids, n, &mut scratch, out)
+    }
+
+    /// Cumulative hot-path work counters of this executor's scratch arena
+    /// (see [`crate::HotPathStats`]); the pruning bench diffs snapshots
+    /// around query spans to attribute decodes and scored rows.
+    pub fn hot_stats(&self) -> crate::HotPathStats {
+        self.scratch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .hot_stats()
+    }
+
     /// Test hook: overwrites the executor's scratch arena with
     /// seed-derived garbage (see [`QueryScratch::poison`]). Queries must
     /// produce bit-identical results regardless.

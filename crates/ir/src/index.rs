@@ -27,8 +27,8 @@ use x100_corpus::SyntheticCollection;
 use x100_storage::{Column, ColumnBuilder, StringColumn, Table};
 
 use crate::bm25::{term_weight, Bm25Params, CollectionStats, Quantizer};
-use crate::columns::IndexColumns;
-use crate::paged::PagedMetadata;
+use crate::columns::{IndexColumns, BLOCK_MAX_SLOTS};
+use crate::paged::{PagedMetadata, PAGE_VALUES};
 
 /// Which materialized score column to build (§3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,6 +113,13 @@ pub struct InvertedIndex {
     num_terms: usize,
     stats: CollectionStats,
     quantizer: Option<Quantizer>,
+    /// Per-stride block-max metadata for dynamic pruning: a raw u32 column
+    /// of [`BLOCK_MAX_SLOTS`]-slot entries (max tf, min doc length, max
+    /// materialized score payload, max docid), one per 128-value posting
+    /// stride.
+    /// `None` for segments written before the section existed — queries
+    /// then run exhaustively.
+    block_max: Option<Column>,
 }
 
 /// Where an index's metadata lives.
@@ -193,6 +200,7 @@ impl InvertedIndex {
             tf,
             doc_freqs,
             offsets,
+            mut block_max,
         } = cols;
         let num_terms = vocab.len();
         let num_docs = doc_lens.len();
@@ -224,12 +232,22 @@ impl InvertedIndex {
                     doc_lens[d as usize] as u32,
                 )
             };
+            // The block-max score slot rides the same streaming pass:
+            // strides are 128 rows, so `row / stride` addresses the entry
+            // the writer opened for this posting.
+            let slot_of =
+                |row: usize| (row / x100_compress::ENTRY_POINT_STRIDE) * BLOCK_MAX_SLOTS + 2;
             match config.materialize {
                 Materialize::F32 => {
                     let mut b =
                         ColumnBuilder::with_block_size("score", Codec::Raw, config.block_size);
-                    for (t, d, f) in PostingStream::new(&docid, &tf, &offsets) {
-                        b.push(weight_of(t, d, f).to_bits());
+                    for (row, (t, d, f)) in PostingStream::new(&docid, &tf, &offsets).enumerate() {
+                        let bits = weight_of(t, d, f).to_bits();
+                        b.push(bits);
+                        // ω ≥ 0, so the u32 bit order is the float order and
+                        // a bitwise max is an exact float max.
+                        let s = slot_of(row);
+                        block_max[s] = block_max[s].max(bits);
                     }
                     score_col = Some(b.finish());
                 }
@@ -247,8 +265,15 @@ impl InvertedIndex {
                         Codec::Pfor { width: 8 },
                         config.block_size,
                     );
-                    for (t, d, f) in PostingStream::new(&docid, &tf, &offsets) {
-                        b.push(qz.encode(weight_of(t, d, f)));
+                    for (row, (t, d, f)) in PostingStream::new(&docid, &tf, &offsets).enumerate() {
+                        let code = qz.encode(weight_of(t, d, f));
+                        b.push(code);
+                        // The hot path scores Q8 postings by summing raw
+                        // codes, so the max *code* is the exact per-stride
+                        // bound in code space — quantization error cannot
+                        // understate it.
+                        let s = slot_of(row);
+                        block_max[s] = block_max[s].max(code);
                     }
                     score_col = Some(b.finish());
                     quantizer = Some(qz);
@@ -263,6 +288,13 @@ impl InvertedIndex {
         if let Some(score) = score_col {
             td.add_column(score);
         }
+
+        // The block-max entries become a raw metadata column paged at
+        // PAGE_VALUES, the same shape the segment writer persists and the
+        // paged reopen serves through the buffer pool.
+        let mut bm = ColumnBuilder::with_block_size("blockmax", Codec::Raw, PAGE_VALUES);
+        bm.extend(&block_max);
+        let block_max = Some(bm.finish());
 
         let term_ranges = (0..num_terms).map(|t| offsets[t]..offsets[t + 1]).collect();
         let term_dict = vocab
@@ -284,6 +316,7 @@ impl InvertedIndex {
             num_terms,
             stats,
             quantizer,
+            block_max,
         }
     }
 
@@ -304,6 +337,7 @@ impl InvertedIndex {
             tf,
             score,
             quantizer,
+            block_max,
         } = parts;
         let mut td = Table::new("TD");
         td.add_column(docid);
@@ -318,6 +352,7 @@ impl InvertedIndex {
             num_terms,
             stats,
             quantizer,
+            block_max,
         }
     }
 
@@ -414,6 +449,14 @@ impl InvertedIndex {
         self.config.materialize != Materialize::None
     }
 
+    /// The per-stride block-max column, when this index has one (built
+    /// indexes always do; reopened segments only if the `BlockMax` section
+    /// was written). `None` disables pruning — pruned strategies then run
+    /// the exhaustive path, bit-identically.
+    pub fn block_max(&self) -> Option<&Column> {
+        self.block_max.as_ref()
+    }
+
     /// Number of postings (TD rows).
     pub fn num_postings(&self) -> usize {
         self.td.row_count()
@@ -437,6 +480,83 @@ impl InvertedIndex {
             }
             Metadata::Paged(p) => p.all_terms(),
         }
+    }
+
+    /// Checks that the stored block-max metadata **dominates** the true
+    /// per-stride maxima recomputed from the posting columns: stored max
+    /// tf at least every tf in the stride, stored min doc length at most
+    /// every posting's document length, stored score payload at least
+    /// every posting's payload. An *understated* entry is a soundness bug
+    /// — the pruned path could skip a stride holding a true top-k hit —
+    /// so debug-mode segment opens run this as a typed-error check and
+    /// the corruption proptest drives it with tampered columns. `Ok(())`
+    /// when the index carries no metadata (pruning is then disabled,
+    /// trivially sound).
+    pub fn validate_block_max(&self) -> Result<(), &'static str> {
+        match &self.block_max {
+            Some(bm) => self.validate_block_max_column(bm),
+            None => Ok(()),
+        }
+    }
+
+    /// [`Self::validate_block_max`] against an arbitrary candidate column,
+    /// so tests can validate deliberately tampered metadata without
+    /// rebuilding an index.
+    pub fn validate_block_max_column(&self, bm: &Column) -> Result<(), &'static str> {
+        let entries = bm.read_all();
+        let strides = self
+            .num_postings()
+            .div_ceil(x100_compress::ENTRY_POINT_STRIDE);
+        if entries.len() != strides * BLOCK_MAX_SLOTS {
+            return Err("block-max length disagrees with the posting count");
+        }
+        let docids = self
+            .td
+            .column("docid")
+            .map_err(|_| "missing docid column")?
+            .read_all();
+        let tfs = self
+            .td
+            .column("tf")
+            .map_err(|_| "missing tf column")?
+            .read_all();
+        let scores = match self.config.materialize {
+            Materialize::None => None,
+            _ => Some(
+                self.td
+                    .column("score")
+                    .map_err(|_| "missing score column")?
+                    .read_all(),
+            ),
+        };
+        let doc_lens = self.doc_lens();
+        for (row, (&d, &tf)) in docids.iter().zip(&tfs).enumerate() {
+            let e = (row / x100_compress::ENTRY_POINT_STRIDE) * BLOCK_MAX_SLOTS;
+            if entries[e] < tf {
+                return Err("understated block-max tf");
+            }
+            let len = doc_lens
+                .get(d as usize)
+                .copied()
+                .ok_or("block-max docid out of range")? as u32;
+            if entries[e + 1] > len {
+                return Err("overstated block-max min doc length");
+            }
+            if let Some(scores) = &scores {
+                // F32 payloads are nonnegative-float bits (bit order ==
+                // float order); Q8 payloads are raw codes. Either way a
+                // plain u32 compare is the exact domination check.
+                if entries[e + 2] < scores[row] {
+                    return Err("understated block-max score bound");
+                }
+            }
+            // An understated stride max docid would let a seek land past
+            // postings it never examined.
+            if entries[e + 3] < d {
+                return Err("understated block-max docid");
+            }
+        }
+        Ok(())
     }
 
     /// Bits per tuple of the named TD column — the §3.3 accounting.

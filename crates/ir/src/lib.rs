@@ -58,7 +58,7 @@ pub use builder::{build_index_streaming, StreamingIndexBuilder};
 pub use columns::{IndexColumns, IndexColumnsWriter};
 pub use engine::{HitsResponse, QueryEngine, SearchResponse, SearchResult, SearchStrategy};
 pub use executor::QueryExecutor;
-pub use hot::{QueryScratch, ScratchPool};
+pub use hot::{HotPathStats, QueryScratch, ScratchPool};
 pub use index::{IndexConfig, InvertedIndex, Materialize};
 pub use segment::SegmentOpenStats;
 pub use skipping::{intersect_skipping, PostingCursor};

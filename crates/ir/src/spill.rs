@@ -405,11 +405,12 @@ impl SpillingIndexBuilder {
         for run in &self.runs {
             sources.push(RunFileReader::open(&run.path)?);
         }
+        let doc_lens = self.inner.doc_lens();
         let merge_stats = merge_run_sources(sources, |term, merged| {
             if term as usize >= num_terms {
                 return Err(SpillError::TermOutOfVocab { term, num_terms });
             }
-            writer.push_term(term, merged);
+            writer.push_term(term, merged, doc_lens);
             Ok(())
         })?;
         // Peak residency of the merge (in-flight segments + merged buffer)

@@ -14,13 +14,15 @@ use x100_ir::{
 };
 use x100_storage::{BufferManager, BufferMode, DiskModel};
 
-const ALL_STRATEGIES: [SearchStrategy; 6] = [
+const ALL_STRATEGIES: [SearchStrategy; 8] = [
     SearchStrategy::BoolAnd,
     SearchStrategy::BoolOr,
     SearchStrategy::Bm25,
     SearchStrategy::Bm25TwoPass,
     SearchStrategy::Bm25Materialized,
     SearchStrategy::Bm25MaterializedTwoPass,
+    SearchStrategy::Bm25Pruned,
+    SearchStrategy::Bm25MaterializedPruned,
 ];
 
 fn temp_path(name: &str) -> std::path::PathBuf {
@@ -341,6 +343,161 @@ fn resealed_fence_and_directory_damage_is_rejected() {
     b[dir_off + dir_len - 4..dir_off + dir_len].copy_from_slice(&u32::MAX.to_le_bytes());
     reseal_section(&mut b, NAMES_DIR);
     open_expecting_error(&b, "names directory document count");
+}
+
+/// Oversized declarations inside the `BlockMax` section, each re-sealed:
+/// the column validators (and the length-vs-posting-count reconciliation)
+/// must reject them with typed errors, exactly like the posting columns.
+#[test]
+fn resealed_blockmax_damage_is_rejected() {
+    const BLOCKMAX: u32 = 13;
+    let pristine = pristine_segment(&IndexConfig::materialized_q8());
+    let slot = toc_slot(&pristine, BLOCKMAX);
+    let off = u64_at(&pristine, slot + 8) as usize;
+
+    // Declared value count inflated to ~2^60: no longer one entry per
+    // 128-posting stride.
+    let mut b = pristine.clone();
+    put_u64(&mut b, off + 16, u64::MAX / 16);
+    reseal_section(&mut b, BLOCKMAX);
+    open_expecting_error(&b, "oversized block-max value count");
+
+    // Value count nudged by one stride entry — still internally
+    // plausible, but it must disagree with
+    // `num_postings.div_ceil(128) * 4`.
+    let mut b = pristine.clone();
+    let declared = u64_at(&b, off + 16);
+    put_u64(&mut b, off + 16, declared + 4);
+    reseal_section(&mut b, BLOCKMAX);
+    open_expecting_error(&b, "off-by-one-stride block-max value count");
+
+    // Declared block count inflated: the page directory no longer matches.
+    let mut b = pristine.clone();
+    put_u64(&mut b, off + 24, u64::MAX / 16);
+    reseal_section(&mut b, BLOCKMAX);
+    open_expecting_error(&b, "oversized block-max block count");
+
+    // A block-directory entry pushed past the section payload.
+    let mut b = pristine.clone();
+    put_u64(&mut b, off + 32 + 8, u64::MAX / 4);
+    reseal_section(&mut b, BLOCKMAX);
+    open_expecting_error(&b, "oversized block-max directory entry");
+
+    // TOC length of the section itself inflated.
+    let mut b = pristine.clone();
+    put_u64(&mut b, slot + 16, u64::MAX / 2);
+    reseal_toc(&mut b);
+    open_expecting_error(&b, "oversized block-max section length");
+}
+
+/// Rewrites `pristine` with one section removed: its payload zeroed into
+/// inter-section padding, its TOC entry spliced out, and every checksum
+/// re-sealed — a byte-exact model of a segment written before that
+/// section kind existed.
+fn strip_section(pristine: &[u8], kind: u32) -> Vec<u8> {
+    let mut b = pristine.to_vec();
+    let slot = toc_slot(&b, kind);
+    let off = u64_at(&b, slot + 8) as usize;
+    let len = u64_at(&b, slot + 16) as usize;
+    b[off..off + len].fill(0);
+    let (toc_offset, count) = toc_layout(&b);
+    let toc_end = toc_offset + count * 32;
+    b.copy_within(slot + 32..toc_end, slot);
+    // One entry fewer: the trailer checksum moves up 32 bytes and the
+    // file shrinks with it.
+    b.truncate(toc_end - 32 + 8);
+    let new_len = b.len() as u64;
+    b[8..12].copy_from_slice(&((count - 1) as u32).to_le_bytes());
+    put_u64(&mut b, 24, new_len);
+    reseal_header(&mut b);
+    reseal_toc(&mut b);
+    b
+}
+
+/// A segment with no `BlockMax` section — the pre-pruning format — must
+/// still open, and the pruned strategies must silently fall back to the
+/// exhaustive path, bit-identical to the in-memory index.
+#[test]
+fn segment_without_blockmax_serves_pruned_queries_exhaustively() {
+    const BLOCKMAX: u32 = 13;
+    let index = small_index(&IndexConfig::materialized_q8());
+    let path = temp_path("noblockmax");
+    index.write_segment(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    let stripped = strip_section(&pristine, BLOCKMAX);
+    std::fs::write(&path, &stripped).unwrap();
+    let reopened = InvertedIndex::open_segment(&path)
+        .expect("a segment without BlockMax predates pruning and must open");
+    std::fs::remove_file(&path).unwrap();
+    assert!(
+        reopened.block_max().is_none(),
+        "stripped segment must come back without block-max metadata"
+    );
+
+    let seg_exec = QueryExecutor::new(Arc::new(reopened));
+    let mem_exec = QueryExecutor::new(Arc::new(index));
+    let queries: [&[u32]; 5] = [&[0, 1, 2], &[3, 5, 8, 13], &[2], &[0, 23], &[7, 9, 11, 20]];
+    for strategy in [
+        SearchStrategy::Bm25Pruned,
+        SearchStrategy::Bm25MaterializedPruned,
+    ] {
+        for q in queries {
+            let mem = mem_exec.search(q, strategy, 10).expect("mem search");
+            let seg = seg_exec.search(q, strategy, 10).expect("seg search");
+            assert_eq!(
+                seg.results, mem.results,
+                "pruned fallback diverged for {strategy:?} on {q:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Understated-bound soundness
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A deliberately understated block-max entry — lower max tf, higher
+    /// min doc length, lower score bound, or lower max docid — is
+    /// *invisible to checksums* (the file stays internally consistent)
+    /// but would let the pruned path skip a stride holding a true top-k
+    /// hit. The debug-mode soundness validator must catch every such
+    /// tamper, on any stride and any slot; the pristine metadata must
+    /// pass it.
+    #[test]
+    fn understated_block_max_is_caught(pick in any::<u64>(), slot in 0usize..4) {
+        let index = small_index(&IndexConfig::materialized_q8());
+        prop_assert!(index.validate_block_max().is_ok(), "pristine metadata must validate");
+        let bm = index.block_max().expect("built index carries block-max");
+        let mut vals = bm.read_all();
+        let stride = (pick as usize) % (vals.len() / 4);
+        let at = stride * 4 + slot;
+        // The stored entries are the *exact* per-stride extrema, so any
+        // one-step move in the unsound direction understates the bound.
+        // Slot 1 is a minimum (tamper up); slots 0, 2 and 3 are maxima
+        // (tamper down; a zero maximum cannot be understated, so fall
+        // back to the always-tamperable min-length slot).
+        let at = if slot != 1 && vals[at] == 0 { stride * 4 + 1 } else { at };
+        if at % 4 == 1 {
+            vals[at] += 1;
+        } else {
+            vals[at] -= 1;
+        }
+        let tampered = x100_storage::Column::from_values(
+            "blockmax",
+            x100_compress::Codec::Raw,
+            &vals,
+        );
+        prop_assert!(
+            index.validate_block_max_column(&tampered).is_err(),
+            "understated entry at stride {stride} slot {} escaped the validator",
+            at % 4
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

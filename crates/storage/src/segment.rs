@@ -139,6 +139,11 @@ pub enum SectionKind {
     /// Resident directory over the paged document names: first docid per
     /// page, small enough to pin in memory.
     NamesDir = 12,
+    /// Per-stride block-max metadata for dynamic pruning: three `u32`s per
+    /// 128-value posting stride (max tf, min doc length, max materialized
+    /// score payload). Optional — segments without it still open, the
+    /// query side just runs exhaustively.
+    BlockMax = 13,
 }
 
 impl SectionKind {
@@ -156,6 +161,7 @@ impl SectionKind {
             10 => SectionKind::GlobalIds,
             11 => SectionKind::TermsFences,
             12 => SectionKind::NamesDir,
+            13 => SectionKind::BlockMax,
             _ => return None,
         })
     }
@@ -171,6 +177,7 @@ impl SectionKind {
                 | SectionKind::DocLens
                 | SectionKind::DocFreqs
                 | SectionKind::Offsets
+                | SectionKind::BlockMax
         )
     }
 }

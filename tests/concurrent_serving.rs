@@ -137,6 +137,8 @@ fn worker_pool_differential_over_generated_log() {
             queue_depth: 4,
             strategy,
             top_n: TOP_N,
+            short_query_max_terms: None,
+            long_lane_guarantee: 4,
         };
         let report = run_closed_loop(&concurrent, &cfg, &queries);
         assert_eq!(report.completed, queries.len());
@@ -173,6 +175,8 @@ fn scatter_gather_under_concurrent_load_matches_broadcast() {
         queue_depth: 2,
         strategy: SearchStrategy::Bm25TwoPass,
         top_n: TOP_N,
+        short_query_max_terms: None,
+        long_lane_guarantee: 4,
     };
     let report = run_closed_loop(&cluster, &cfg, &queries);
     for (i, outcome) in report.outcomes.iter().enumerate() {

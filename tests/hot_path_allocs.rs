@@ -24,21 +24,23 @@ use x100_ir::{IndexConfig, InvertedIndex, QueryExecutor, SearchStrategy};
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-/// Every strategy of the Table 2 ladder.
-const ALL_STRATEGIES: [SearchStrategy; 6] = [
+/// Every strategy of the Table 2 ladder plus the block-max pruned modes.
+const ALL_STRATEGIES: [SearchStrategy; 8] = [
     SearchStrategy::BoolAnd,
     SearchStrategy::BoolOr,
     SearchStrategy::Bm25,
     SearchStrategy::Bm25TwoPass,
     SearchStrategy::Bm25Materialized,
     SearchStrategy::Bm25MaterializedTwoPass,
+    SearchStrategy::Bm25Pruned,
+    SearchStrategy::Bm25MaterializedPruned,
 ];
 
 const TOP_N: usize = 10;
 
 fn fixture() -> (Vec<Vec<u32>>, Arc<InvertedIndex>) {
     let c = SyntheticCollection::generate(&CollectionConfig::tiny());
-    // A materialized-Q8 compressed index runs all six strategies.
+    // A materialized-Q8 compressed index runs all eight strategies.
     let index = Arc::new(InvertedIndex::build(&c, &IndexConfig::materialized_q8()));
     let mut queries: Vec<Vec<u32>> = c.eval_queries.iter().map(|q| q.terms.clone()).collect();
     queries.extend(c.efficiency_log.iter().take(10).cloned());
@@ -81,6 +83,18 @@ fn assert_steady_state_clean(
                     .expect("warm query failed")
             });
         }
+    }
+    // The conjunctive skipping path shares the arena's cursors and heap.
+    for q in queries {
+        exec.search_conjunctive_skipping_hits_into(q, TOP_N, &mut out)
+            .expect("warmup skipping query failed");
+    }
+    for (qi, q) in queries.iter().enumerate() {
+        let context = format!("{label}: conjunctive-skipping query {qi}");
+        assert_no_allocs(&context, || {
+            exec.search_conjunctive_skipping_hits_into(q, TOP_N, &mut out)
+                .expect("warm skipping query failed")
+        });
     }
 }
 

@@ -26,20 +26,26 @@ use x100_ir::{
     SearchStrategy,
 };
 
-/// Every strategy of the Table 2 ladder.
-const ALL_STRATEGIES: [SearchStrategy; 6] = [
+/// Every strategy of the Table 2 ladder plus the block-max pruned modes.
+/// For the pruned strategies the relational oracle runs the *exhaustive*
+/// disjunctive plan, so these comparisons are precisely the "pruning must
+/// not change one output bit" guarantee.
+const ALL_STRATEGIES: [SearchStrategy; 8] = [
     SearchStrategy::BoolAnd,
     SearchStrategy::BoolOr,
     SearchStrategy::Bm25,
     SearchStrategy::Bm25TwoPass,
     SearchStrategy::Bm25Materialized,
     SearchStrategy::Bm25MaterializedTwoPass,
+    SearchStrategy::Bm25Pruned,
+    SearchStrategy::Bm25MaterializedPruned,
 ];
 
 struct Fixture {
     queries: Vec<Vec<u32>>,
-    /// One index per materialization mode; all six strategies run on the
-    /// materialized ones, four on the plain compressed one.
+    /// One index per materialization mode; all eight strategies run on the
+    /// materialized ones, the materialized ones error on the plain
+    /// compressed one (and must error identically on both paths).
     indexes: Vec<Arc<InvertedIndex>>,
 }
 
@@ -126,8 +132,9 @@ fn segment_backed_fused_path_matches_relational_oracle() {
     let fx = fixture();
     let mut path = std::env::temp_dir();
     path.push(format!("x100-scratch-diff-{}.seg", std::process::id()));
-    // The q8 index runs all six strategies; reopened from its segment the
-    // posting blocks are disk-resident and flow through the buffer pool.
+    // The q8 index runs all eight strategies; reopened from its segment the
+    // posting blocks (and the block-max metadata the pruned modes skip by)
+    // are disk-resident and flow through the buffer pool.
     fx.indexes[2].write_segment(&path).expect("write segment");
     let reopened = Arc::new(InvertedIndex::open_segment(&path).expect("open segment"));
     let exec = QueryExecutor::new(reopened.clone());
